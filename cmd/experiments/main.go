@@ -1,0 +1,105 @@
+// Command experiments regenerates the paper's evaluation: Table II
+// (benchmark set and minimum channel widths), Figure 4 (raw vs VBS
+// sizes), Figure 5 (cluster-size study), plus the decode-cost,
+// fallback and ablation tables.
+//
+// Quick run (scaled-down benchmarks, no MCW search):
+//
+//	experiments -fig4 -fig5
+//
+// Full Table II reproduction (slow: full-size placement, routing and
+// binary channel-width search for 20 benchmarks):
+//
+//	experiments -all -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		table2   = flag.Bool("table2", false, "measure minimum channel widths (Table II)")
+		fig4     = flag.Bool("fig4", false, "raw vs VBS size comparison (Figure 4)")
+		fig5     = flag.Bool("fig5", false, "cluster size study (Figure 5)")
+		decode   = flag.Bool("decode", false, "decode cost table")
+		ablation = flag.Bool("ablation", false, "encoder ablations")
+		all      = flag.Bool("all", false, "run everything")
+		scale    = flag.Int("scale", 4, "benchmark downscale factor (1 = full Table II sizes)")
+		w        = flag.Int("w", 20, "normalized channel width")
+		clusters = flag.String("clusters", "1,2,3,4,5,6", "cluster sizes for the Figure 5 sweep")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default all 20)")
+		effort   = flag.Float64("effort", 1, "placement annealing effort (VPR default is 10)")
+		seed     = flag.Int64("seed", 0, "seed offset for synthetic circuit generation")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *all {
+		*table2, *fig4, *fig5, *decode, *ablation = true, true, true, true, true
+	}
+	if !*table2 && !*fig4 && !*fig5 && !*decode && !*ablation {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -table2 -fig4 -fig5 -decode -ablation or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := exp.Config{
+		Scale:      *scale,
+		NormW:      *w,
+		MeasureMCW: *table2,
+		Ablations:  *ablation,
+		PlaceInner: *effort,
+		Seed:       *seed,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	for _, c := range strings.Split(*clusters, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(c), "%d", &v); err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad cluster size %q\n", c)
+			os.Exit(2)
+		}
+		cfg.Clusters = append(cfg.Clusters, v)
+	}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			cfg.Benchmarks = append(cfg.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+
+	results, err := exp.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	out := os.Stdout
+	if *table2 {
+		results.Table2().Render(out)
+		fmt.Fprintln(out)
+	}
+	if *fig4 {
+		results.Fig4().Render(out)
+		fmt.Fprintln(out)
+	}
+	if *fig5 {
+		results.Fig5().Render(out)
+		fmt.Fprintln(out)
+	}
+	if *decode {
+		results.DecodeTable().Render(out)
+		fmt.Fprintln(out)
+		results.FallbackTable().Render(out)
+		fmt.Fprintln(out)
+	}
+	if *ablation {
+		results.AblationTable().Render(out)
+	}
+}

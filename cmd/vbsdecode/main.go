@@ -1,0 +1,85 @@
+// Command vbsdecode is the runtime side of the flow as a CLI: it
+// de-virtualizes a Virtual Bit-Stream into a raw configuration at a
+// chosen position on a chosen fabric, which is exactly what the
+// reconfiguration controller does at task load time.
+//
+//	vbsdecode -in task.vbs -fabric 64x64 -x 10 -y 4 -o region.rbs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input VBS file")
+		outPath = flag.String("o", "", "output raw bitstream file (optional)")
+		x       = flag.Int("x", 0, "task west column on the fabric")
+		y       = flag.Int("y", 0, "task south row on the fabric")
+		size    = flag.String("fabric", "", "fabric WxH in macros (default: the task's own size)")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "vbsdecode: -in required")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	v, err := core.Parse(data)
+	if err != nil {
+		fail(err)
+	}
+
+	grid := arch.Grid{Width: v.TaskW, Height: v.TaskH}
+	if *size != "" {
+		if _, err := fmt.Sscanf(*size, "%dx%d", &grid.Width, &grid.Height); err != nil {
+			fail(fmt.Errorf("bad -fabric %q: %w", *size, err))
+		}
+	}
+
+	target := bitstream.New(v.P, grid)
+	if err := v.DecodeInto(target, *x, *y); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("task    : %dx%d macros, W=%d, K=%d, cluster %d\n",
+		v.TaskW, v.TaskH, v.P.W, v.P.K, v.Cluster)
+	fmt.Printf("entries : %d regions (%d raw fallback)\n", len(v.Entries), countRaw(v))
+	fmt.Printf("VBS     : %s; raw equivalent %s (%s)\n",
+		report.Bits(v.Size()), report.Bits(v.RawSizeBits()),
+		report.Percent(v.CompressionRatio()))
+	fmt.Printf("decoded : at (%d,%d) on %dx%d fabric\n", *x, *y, grid.Width, grid.Height)
+
+	if *outPath != "" {
+		out := target.Encode()
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote   : %s (%d bytes)\n", *outPath, len(out))
+	}
+}
+
+func countRaw(v *core.VBS) int {
+	n := 0
+	for i := range v.Entries {
+		if v.Entries[i].Raw {
+			n++
+		}
+	}
+	return n
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vbsdecode: %v\n", err)
+	os.Exit(1)
+}

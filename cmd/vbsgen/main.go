@@ -1,0 +1,121 @@
+// Command vbsgen is the offline VBS generation backend of the paper's
+// Section III-B: it takes a hardware description (a BLIF netlist, or a
+// named synthetic MCNC twin), runs synthesis, placement and routing,
+// and emits both the raw configuration bit-stream and the compressed
+// Virtual Bit-Stream.
+//
+//	vbsgen -blif design.blif -o design.vbs -raw design.rbs
+//	vbsgen -bench alu4 -scale 4 -cluster 2 -o alu4.vbs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/mcnc"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		blifPath = flag.String("blif", "", "input BLIF netlist")
+		bench    = flag.String("bench", "", "synthetic MCNC benchmark name (alternative to -blif)")
+		scale    = flag.Int("scale", 4, "benchmark downscale factor with -bench")
+		w        = flag.Int("w", 20, "channel width (0 with -autow searches the minimum)")
+		autoW    = flag.Bool("autow", false, "binary-search the minimum channel width")
+		k        = flag.Int("k", 6, "LUT size")
+		cluster  = flag.Int("cluster", 1, "VBS cluster size")
+		seed     = flag.Int64("seed", 1, "placement seed")
+		effort   = flag.Float64("effort", 10, "placement annealing effort")
+		outPath  = flag.String("o", "", "output VBS file")
+		rawPath  = flag.String("raw", "", "output raw bitstream file")
+	)
+	flag.Parse()
+
+	design, err := loadDesign(*blifPath, *bench, *scale, *k)
+	if err != nil {
+		fail(err)
+	}
+
+	flow := repro.NewFlow()
+	flow.K = *k
+	flow.W = *w
+	flow.AutoWidth = *autoW
+	flow.Cluster = *cluster
+	flow.Seed = *seed
+	flow.PlaceEffort = *effort
+
+	c, err := flow.Compile(design)
+	if err != nil {
+		fail(err)
+	}
+	if err := c.Verify(); err != nil {
+		fail(fmt.Errorf("post-compile verification: %w", err))
+	}
+
+	s := design.Stats()
+	fmt.Printf("design   : %s (%d LBs, %d pads, %d nets)\n",
+		design.Name, s.LogicBlocks, s.InputPads+s.OutputPads, s.Nets)
+	fmt.Printf("fabric   : %dx%d macros, W=%d, K=%d\n",
+		c.Grid.Width, c.Grid.Height, c.ChannelWidth, *k)
+	fmt.Printf("raw BS   : %s\n", report.Bits(c.Raw.SizeBits()))
+	fmt.Printf("VBS      : %s (cluster %d) = %s of raw, factor %.2fx\n",
+		report.Bits(c.VBS.Size()), *cluster,
+		report.Percent(c.VBS.CompressionRatio()), c.VBS.CompressionFactor())
+	fmt.Printf("feedback : %d regions used, %d coded, %d raw fallbacks, %d reordered\n",
+		c.Stats.UsedRegions, c.Stats.CodedRegions, c.Stats.RawRegions, c.Stats.ReorderedRegions)
+
+	if *outPath != "" {
+		data, err := c.VBS.Encode()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote    : %s (%d bytes)\n", *outPath, len(data))
+	}
+	if *rawPath != "" {
+		data := c.Raw.Encode()
+		if err := os.WriteFile(*rawPath, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote    : %s (%d bytes)\n", *rawPath, len(data))
+	}
+}
+
+func loadDesign(blifPath, bench string, scale, k int) (*netlist.Design, error) {
+	switch {
+	case blifPath != "" && bench != "":
+		return nil, fmt.Errorf("use -blif or -bench, not both")
+	case blifPath != "":
+		f, err := os.Open(blifPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		c, err := netlist.ParseBLIF(f)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Synthesize(c, k)
+	case bench != "":
+		p, err := mcnc.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(p.Scale(scale).GenParams(k))
+	default:
+		return nil, fmt.Errorf("no input: use -blif FILE or -bench NAME")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vbsgen: %v\n", err)
+	os.Exit(1)
+}

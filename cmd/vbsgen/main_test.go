@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDesignFromBench(t *testing.T) {
+	d, err := loadDesign("", "ex5p", 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLogicBlocks() == 0 {
+		t.Error("empty benchmark design")
+	}
+}
+
+func TestLoadDesignFromBLIF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.blif")
+	blif := ".model t\n.inputs a b\n.outputs z\n.names a b z\n11 1\n.end\n"
+	if err := os.WriteFile(path, []byte(blif), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDesign(path, "", 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLogicBlocks() != 1 {
+		t.Errorf("LBs = %d, want 1", d.NumLogicBlocks())
+	}
+}
+
+func TestLoadDesignErrors(t *testing.T) {
+	if _, err := loadDesign("", "", 1, 6); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, err := loadDesign("x.blif", "ex5p", 1, 6); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if _, err := loadDesign("/nonexistent.blif", "", 1, 6); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := loadDesign("", "unknown-bench", 1, 6); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

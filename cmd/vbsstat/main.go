@@ -1,0 +1,126 @@
+// Command vbsstat dissects a Virtual Bit-Stream container: size
+// breakdown by field class (header, positions, logic, connections,
+// raw-fallback payloads), the per-region connection histogram, and the
+// worst regions — the numbers one needs when tuning cluster size for a
+// task.
+//
+//	vbsstat -in task.vbs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	inPath := flag.String("in", "", "input VBS file")
+	top := flag.Int("top", 5, "how many largest entries to list")
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "vbsstat: -in required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	v, err := core.Parse(data)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("task        : %dx%d macros, W=%d K=%d, cluster %d\n",
+		v.TaskW, v.TaskH, v.P.W, v.P.K, v.Cluster)
+	fmt.Printf("region grid : %dx%d (%d regions, %d coded entries)\n",
+		v.RegionsW(), v.RegionsH(), v.RegionsW()*v.RegionsH(), len(v.Entries))
+	fmt.Printf("field widths: M=%d bits/endpoint, route count %d bits, coords %d bits\n",
+		v.MBits(), v.RouteCountBits(), v.RegionCoordBits())
+
+	// Size breakdown.
+	var posBits, bitmapBits, logicBits, countBits, connBits, rawBits int
+	var conns, raws, logics int
+	histogram := map[int]int{}
+	type sized struct {
+		idx, bits int
+	}
+	var order []sized
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		posBits += 2 * v.RegionCoordBits()
+		bitmapBits += v.Cluster*v.Cluster + 1 // bitmap + mode bit
+		logicBits += len(e.Logic) * v.P.NLB()
+		logics += len(e.Logic)
+		if e.Raw {
+			raws++
+			rawBits += len(e.RawBits) * (v.P.NRaw() - v.P.NLB())
+		} else {
+			countBits += v.RouteCountBits()
+			connBits += len(e.Conns) * 2 * v.MBits()
+			conns += len(e.Conns)
+			histogram[bucket(len(e.Conns))]++
+		}
+		order = append(order, sized{i, v.EntrySizeBits(e)})
+	}
+
+	total := v.Size()
+	tab := &report.Table{
+		Title:   "Size breakdown",
+		Headers: []string{"Component", "Bits", "Share"},
+	}
+	tab.AddRow("header", v.HeaderSizeBits(), share(v.HeaderSizeBits(), total))
+	tab.AddRow("entry positions", posBits, share(posBits, total))
+	tab.AddRow("bitmaps+mode", bitmapBits, share(bitmapBits, total))
+	tab.AddRow(fmt.Sprintf("logic data (%d blocks)", logics), logicBits, share(logicBits, total))
+	tab.AddRow(fmt.Sprintf("connections (%d)", conns), countBits+connBits, share(countBits+connBits, total))
+	tab.AddRow(fmt.Sprintf("raw fallbacks (%d regions)", raws), rawBits, share(rawBits, total))
+	tab.AddRow("TOTAL", total, share(total, total))
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\nraw equivalent %s, VBS %s -> %s (%.2fx)\n",
+		report.Bits(v.RawSizeBits()), report.Bits(total),
+		report.Percent(v.CompressionRatio()), v.CompressionFactor())
+
+	// Connection histogram.
+	fmt.Println("\nconnections per coded region:")
+	var buckets []int
+	for b := range histogram {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		fmt.Printf("  %3d..%-3d : %d regions\n", b, b+bucketWidth-1, histogram[b])
+	}
+
+	// Largest entries.
+	sort.Slice(order, func(a, b int) bool { return order[a].bits > order[b].bits })
+	fmt.Printf("\nlargest %d entries:\n", *top)
+	for i := 0; i < *top && i < len(order); i++ {
+		e := &v.Entries[order[i].idx]
+		kind := fmt.Sprintf("coded, %d conns", len(e.Conns))
+		if e.Raw {
+			kind = "RAW FALLBACK"
+		}
+		fmt.Printf("  region (%2d,%2d): %6d bits (%s)\n", e.X, e.Y, order[i].bits, kind)
+	}
+}
+
+const bucketWidth = 8
+
+func bucket(n int) int { return n / bucketWidth * bucketWidth }
+
+func share(part, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vbsstat: %v\n", err)
+	os.Exit(1)
+}

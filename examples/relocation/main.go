@@ -1,0 +1,86 @@
+// Relocation: the Virtual Bit-Stream is abstracted from its final
+// position (Section V of the paper). This example compiles one task,
+// decodes it at several positions of a larger fabric, and shows the
+// resulting configurations are exact translations of each other —
+// something a conventional raw bitstream cannot do without offline
+// regeneration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/bitstream"
+	"repro/internal/gen"
+	"repro/internal/mcnc"
+)
+
+func main() {
+	// A scaled-down synthetic twin of the MCNC "tseng" benchmark.
+	prof, err := mcnc.ByName("tseng")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := gen.Generate(prof.Scale(6).GenParams(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flow := repro.NewFlow()
+	flow.W = 12
+	flow.Cluster = 2
+	flow.PlaceEffort = 2
+	c, err := flow.Compile(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := c.VBS
+	fmt.Printf("task: %dx%d macros, VBS %d bits (%.1f%% of raw), cluster %d\n",
+		v.TaskW, v.TaskH, v.Size(), 100*v.CompressionRatio(), v.Cluster)
+
+	// One fabric big enough for several placements.
+	fab, err := c.NewFabric(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := fab.Grid()
+	fmt.Printf("fabric: %dx%d macros\n\n", g.Width, g.Height)
+
+	positions := []struct{ x, y int }{
+		{0, 0},
+		{v.TaskW + 1, 0},
+		{3, v.TaskH + 2},
+		{g.Width - v.TaskW, g.Height - v.TaskH},
+	}
+
+	var reference *bitstream.Raw
+	for _, pos := range positions {
+		target := bitstream.New(v.P, g)
+		if err := v.DecodeInto(target, pos.x, pos.y); err != nil {
+			log.Fatalf("decode at (%d,%d): %v", pos.x, pos.y, err)
+		}
+		if reference == nil {
+			reference = target
+			fmt.Printf("decoded at (%2d,%2d): reference\n", pos.x, pos.y)
+			continue
+		}
+		identical := true
+		for x := 0; x < v.TaskW && identical; x++ {
+			for y := 0; y < v.TaskH; y++ {
+				if !reference.At(x, y).Vec().Equal(target.At(pos.x+x, pos.y+y).Vec()) {
+					identical = false
+					break
+				}
+			}
+		}
+		fmt.Printf("decoded at (%2d,%2d): translation of reference = %v\n",
+			pos.x, pos.y, identical)
+		if !identical {
+			log.Fatal("relocation invariance violated")
+		}
+	}
+
+	fmt.Println("\nevery placement produced bit-identical macro configurations;")
+	fmt.Println("the runtime controller can migrate this task without any offline step")
+}

@@ -1,0 +1,496 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+// TestEq1PaperExample pins the worked example of Section II-B:
+// K=6, W=5, L=7 gives NLB=65, NC+=28, NCT=7, Nraw=284, M=5 and a
+// break-even point of 28 connections.
+func TestEq1PaperExample(t *testing.T) {
+	p := PaperExample()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.L(); got != 7 {
+		t.Errorf("L = %d, want 7", got)
+	}
+	if got := p.NLB(); got != 65 {
+		t.Errorf("NLB = %d, want 65", got)
+	}
+	if got := p.NCross(); got != 28 {
+		t.Errorf("NC+ = %d, want 28", got)
+	}
+	if got := p.NTee(); got != 7 {
+		t.Errorf("NCT = %d, want 7", got)
+	}
+	if got := p.NS(); got != 5 {
+		t.Errorf("NS = %d, want 5", got)
+	}
+	if got := p.NRaw(); got != 284 {
+		t.Errorf("Nraw = %d, want 284", got)
+	}
+	if got := p.NumIOCodes(); got != 28 {
+		t.Errorf("I/O codes = %d, want 28", got)
+	}
+	if got := p.MBits(); got != 5 {
+		t.Errorf("M = %d, want 5", got)
+	}
+	if got := p.BreakEven(); got != 28 {
+		t.Errorf("break-even = %d, want 28", got)
+	}
+}
+
+// TestEq1Normalized pins the normalized W=20 architecture used for the
+// paper's Figures 4 and 5.
+func TestEq1Normalized(t *testing.T) {
+	p := Default()
+	if got := p.NRaw(); got != 1004 {
+		t.Errorf("Nraw(W=20) = %d, want 1004", got)
+	}
+	if got := p.MBits(); got != 7 {
+		t.Errorf("M(W=20) = %d, want 7", got)
+	}
+	if got := p.NumIOCodes(); got != 88 {
+		t.Errorf("I/O codes = %d, want 88", got)
+	}
+}
+
+// TestEq1ClosedForm checks Nraw = 44 + 48W for K=6 across widths.
+func TestEq1ClosedForm(t *testing.T) {
+	for w := 1; w <= 64; w++ {
+		p := Params{W: w, K: 6}
+		if got, want := p.NRaw(), 44+48*w; got != want {
+			t.Errorf("Nraw(W=%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{{W: 0, K: 6}, {W: -1, K: 6}, {W: 5, K: 0}, {W: 5, K: 17}}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("Validate(%+v) should fail", p)
+		}
+	}
+	if err := (Params{W: 1, K: 1}).Validate(); err != nil {
+		t.Errorf("minimal params should validate: %v", err)
+	}
+}
+
+func TestCondIndexing(t *testing.T) {
+	p := PaperExample()
+	if got := p.NumConds(); got != 27 {
+		t.Fatalf("NumConds = %d, want 27", got)
+	}
+	cases := []struct {
+		c    Cond
+		kind CondKind
+		idx  int
+	}{
+		{p.CondHW(0), KindHW, 0},
+		{p.CondHW(4), KindHW, 4},
+		{p.CondVW(0), KindVW, 0},
+		{p.CondInW(3), KindInW, 3},
+		{p.CondInS(2), KindInS, 2},
+		{p.CondPin(0), KindPin, 0},
+		{p.CondPin(6), KindPin, 6},
+	}
+	for _, c := range cases {
+		k, i := p.CondInfo(c.c)
+		if k != c.kind || i != c.idx {
+			t.Errorf("CondInfo(%d) = (%v,%d), want (%v,%d)", c.c, k, i, c.kind, c.idx)
+		}
+	}
+}
+
+func TestCondNameAndSides(t *testing.T) {
+	p := PaperExample()
+	if got := p.CondName(p.CondPin(2)); got != "PW2" {
+		t.Errorf("CondName = %q", got)
+	}
+	if got := p.CondName(CondNone); got != "none" {
+		t.Errorf("CondName(none) = %q", got)
+	}
+	if West.Opposite() != East || East.Opposite() != West ||
+		North.Opposite() != South || South.Opposite() != North {
+		t.Error("Side.Opposite is wrong")
+	}
+	if West.String() != "W" || North.String() != "N" {
+		t.Error("Side.String is wrong")
+	}
+}
+
+// TestIOCodeRoundTrip checks that every non-null I/O code maps to a
+// conductor and back.
+func TestIOCodeRoundTrip(t *testing.T) {
+	for _, p := range []Params{PaperExample(), Default(), {W: 2, K: 4}} {
+		for code := 1; code < p.NumIOCodes(); code++ {
+			c, err := p.CondForCode(IOCode(code))
+			if err != nil {
+				t.Fatalf("W=%d CondForCode(%d): %v", p.W, code, err)
+			}
+			if back := p.CodeForCond(c); back != IOCode(code) {
+				t.Errorf("W=%d code %d -> cond %d -> code %d", p.W, code, c, back)
+			}
+		}
+		// Null code.
+		c, err := p.CondForCode(IONull)
+		if err != nil || c != CondNone {
+			t.Errorf("null code: (%d,%v)", c, err)
+		}
+		if p.CodeForCond(CondNone) != IONull {
+			t.Error("CodeForCond(CondNone) != IONull")
+		}
+		// Out-of-range codes must error.
+		if _, err := p.CondForCode(IOCode(p.NumIOCodes())); err == nil {
+			t.Error("out-of-range code should fail")
+		}
+		if _, err := p.CondForCode(IOCode(-1)); err == nil {
+			t.Error("negative code should fail")
+		}
+	}
+}
+
+// TestIOCodeSideSemantics pins the meaning of each side: West I/O t is
+// the incoming neighbour wire InW(t), East I/O t is the macro's own
+// HW(t), and so on.
+func TestIOCodeSideSemantics(t *testing.T) {
+	p := PaperExample()
+	cases := []struct {
+		code IOCode
+		want Cond
+	}{
+		{p.CodeForSide(West, 2), p.CondInW(2)},
+		{p.CodeForSide(South, 0), p.CondInS(0)},
+		{p.CodeForSide(East, 4), p.CondHW(4)},
+		{p.CodeForSide(North, 1), p.CondVW(1)},
+		{p.CodeForPin(3), p.CondPin(3)},
+	}
+	for _, c := range cases {
+		got, err := p.CondForCode(c.code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("code %d -> %s, want %s", c.code, p.CondName(got), p.CondName(c.want))
+		}
+	}
+}
+
+// TestSwitchLayoutExact verifies the canonical raw layout: bit counts
+// per switch kind and total coverage of [NLB, NRaw) with no gaps.
+func TestSwitchLayoutExact(t *testing.T) {
+	for _, p := range []Params{PaperExample(), Default(), {W: 2, K: 2}} {
+		sws := p.Switches()
+		wantCount := 6*p.W + p.L()*p.W // 6 pairs per track + one junction per pin per track
+		if len(sws) != wantCount {
+			t.Fatalf("W=%d: %d switches, want %d", p.W, len(sws), wantCount)
+		}
+		next := p.NLB()
+		var nPair, nCross, nTee int
+		for i, sw := range sws {
+			if sw.FirstBit != next {
+				t.Fatalf("W=%d switch %d starts at bit %d, want %d", p.W, i, sw.FirstBit, next)
+			}
+			next += sw.NumBits
+			switch sw.Kind {
+			case SwitchBoxPair:
+				nPair++
+				if sw.NumBits != 1 {
+					t.Errorf("sb pair with %d bits", sw.NumBits)
+				}
+			case CrossJunction:
+				nCross++
+				if sw.NumBits != 6 {
+					t.Errorf("cross junction with %d bits", sw.NumBits)
+				}
+			case TeeJunction:
+				nTee++
+				if sw.NumBits != 3 {
+					t.Errorf("tee junction with %d bits", sw.NumBits)
+				}
+			}
+			if sw.A >= sw.B {
+				t.Errorf("switch %d not normalized: %d >= %d", i, sw.A, sw.B)
+			}
+		}
+		if next != p.NRaw() {
+			t.Errorf("W=%d layout ends at %d, want %d", p.W, next, p.NRaw())
+		}
+		if nPair != 6*p.W {
+			t.Errorf("W=%d: %d sb pairs, want %d", p.W, nPair, 6*p.W)
+		}
+		if nCross != p.NCross() {
+			t.Errorf("W=%d: %d cross, want %d", p.W, nCross, p.NCross())
+		}
+		if nTee != p.NTee() {
+			t.Errorf("W=%d: %d tee, want %d", p.W, nTee, p.NTee())
+		}
+	}
+}
+
+// TestSwitchBoxPairsPerTrack checks that each track's switch point joins
+// exactly the four incident wires pairwise.
+func TestSwitchBoxPairsPerTrack(t *testing.T) {
+	p := PaperExample()
+	for tr := 0; tr < p.W; tr++ {
+		ends := []Cond{p.CondInW(tr), p.CondInS(tr), p.CondHW(tr), p.CondVW(tr)}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if p.SwitchBetween(ends[i], ends[j]) < 0 {
+					t.Errorf("track %d: no switch between %s and %s",
+						tr, p.CondName(ends[i]), p.CondName(ends[j]))
+				}
+			}
+		}
+		// No cross-track switch-box connections (disjoint topology).
+		if tr+1 < p.W {
+			if p.SwitchBetween(p.CondInW(tr), p.CondHW(tr+1)) >= 0 {
+				t.Errorf("track %d connects to track %d through switch box", tr, tr+1)
+			}
+		}
+	}
+}
+
+// TestPinJunctions checks pin-to-channel assignment: ChanX pins reach
+// every HW track, ChanY pins every VW track, and never the converse.
+func TestPinJunctions(t *testing.T) {
+	p := PaperExample()
+	if got := p.PinsOnChanX(); got != 4 {
+		t.Fatalf("PinsOnChanX = %d, want 4", got)
+	}
+	for pin := 0; pin < p.L(); pin++ {
+		pw := p.CondPin(pin)
+		for tr := 0; tr < p.W; tr++ {
+			onX := p.SwitchBetween(pw, p.CondHW(tr)) >= 0
+			onY := p.SwitchBetween(pw, p.CondVW(tr)) >= 0
+			if p.PinChannelIsX(pin) && (!onX || onY) {
+				t.Errorf("pin %d track %d: ChanX pin has onX=%v onY=%v", pin, tr, onX, onY)
+			}
+			if !p.PinChannelIsX(pin) && (onX || !onY) {
+				t.Errorf("pin %d track %d: ChanY pin has onX=%v onY=%v", pin, tr, onX, onY)
+			}
+		}
+	}
+}
+
+func TestAdjacencyConsistent(t *testing.T) {
+	p := Default()
+	sws := p.Switches()
+	degree := make(map[Cond]int)
+	for _, sw := range sws {
+		degree[sw.A]++
+		degree[sw.B]++
+	}
+	for c := 0; c < p.NumConds(); c++ {
+		adj := p.Adjacency(Cond(c))
+		if len(adj) != degree[Cond(c)] {
+			t.Errorf("cond %s: adjacency %d, want %d", p.CondName(Cond(c)), len(adj), degree[Cond(c)])
+		}
+		for _, n := range adj {
+			sw := sws[n.Switch]
+			if sw.A != Cond(c) && sw.B != Cond(c) {
+				t.Errorf("cond %d adjacency references foreign switch %d", c, n.Switch)
+			}
+			if n.Cond == Cond(c) {
+				t.Errorf("cond %d has self-loop", c)
+			}
+		}
+	}
+}
+
+func TestOutputAndInputPins(t *testing.T) {
+	p := Default()
+	if p.OutputPin() != 0 {
+		t.Error("output pin should be 0")
+	}
+	for i := 0; i < p.K; i++ {
+		if p.InputPin(i) != i+1 {
+			t.Errorf("InputPin(%d) = %d", i, p.InputPin(i))
+		}
+	}
+}
+
+func TestMacroConfigLogic(t *testing.T) {
+	p := PaperExample()
+	m := NewMacroConfig(p)
+	logic := bits.NewVec(p.NLB())
+	logic.Set(0, true)
+	logic.Set(63, true)
+	logic.Set(64, true) // FF enable
+	m.SetLogic(logic)
+	got := m.Logic()
+	if !got.Equal(logic) {
+		t.Errorf("Logic round-trip failed: %s", got)
+	}
+	// Logic bits must land in [0, NLB) only.
+	for i := p.NLB(); i < p.NRaw(); i++ {
+		if m.Vec().Get(i) {
+			t.Fatalf("logic write leaked into switch bit %d", i)
+		}
+	}
+}
+
+func TestMacroConfigSwitches(t *testing.T) {
+	p := PaperExample()
+	m := NewMacroConfig(p)
+	for i, sw := range p.Switches() {
+		if m.SwitchOn(i) {
+			t.Fatalf("switch %d on in zero config", i)
+		}
+		m.SetSwitch(i, true)
+		if !m.SwitchOn(i) {
+			t.Fatalf("switch %d did not turn on", i)
+		}
+		// All the switch's raw bits must be driven.
+		for b := 0; b < sw.NumBits; b++ {
+			if !m.Vec().Get(sw.FirstBit + b) {
+				t.Fatalf("switch %d bit %d not set", i, b)
+			}
+		}
+		m.SetSwitch(i, false)
+		if m.SwitchOn(i) {
+			t.Fatalf("switch %d did not turn off", i)
+		}
+	}
+	if m.Vec().OnesCount() != 0 {
+		t.Error("config not clean after toggling all switches")
+	}
+}
+
+func TestMacroConfigOnSwitches(t *testing.T) {
+	p := PaperExample()
+	m := NewMacroConfig(p)
+	m.SetSwitch(3, true)
+	m.SetSwitch(17, true)
+	on := m.OnSwitches()
+	if len(on) != 2 || on[0] != 3 || on[1] != 17 {
+		t.Errorf("OnSwitches = %v, want [3 17]", on)
+	}
+}
+
+func TestRoutingBitsRoundTrip(t *testing.T) {
+	p := PaperExample()
+	m := NewMacroConfig(p)
+	m.SetSwitch(0, true)
+	m.SetSwitch(10, true)
+	payload := m.RoutingBits()
+	if payload.Len() != p.NRaw()-p.NLB() {
+		t.Fatalf("payload %d bits", payload.Len())
+	}
+	m2 := NewMacroConfig(p)
+	m2.SetRoutingBits(payload)
+	if !m2.Vec().Equal(m.Vec()) {
+		t.Error("routing payload round-trip mismatch")
+	}
+}
+
+func TestMacroConfigFromVec(t *testing.T) {
+	p := PaperExample()
+	if _, err := MacroConfigFromVec(p, bits.NewVec(p.NRaw()-1)); err == nil {
+		t.Error("wrong-size vec should fail")
+	}
+	v := bits.NewVec(p.NRaw())
+	m, err := MacroConfigFromVec(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSwitch(0, true)
+	if v.OnesCount() == 0 {
+		t.Error("wrapper should alias the vector")
+	}
+}
+
+// TestComponents checks electrical component extraction: turning on a
+// path of switches merges exactly the conductors on the path.
+func TestComponents(t *testing.T) {
+	p := PaperExample()
+	m := NewMacroConfig(p)
+	// Connect InW(2) -SB-> HW(2) -junction-> PW0.
+	s1 := p.SwitchBetween(p.CondInW(2), p.CondHW(2))
+	s2 := p.SwitchBetween(p.CondPin(0), p.CondHW(2))
+	if s1 < 0 || s2 < 0 {
+		t.Fatal("expected switches not found")
+	}
+	m.SetSwitch(s1, true)
+	m.SetSwitch(s2, true)
+	comp := m.Components()
+	if comp[p.CondInW(2)] != comp[p.CondHW(2)] || comp[p.CondHW(2)] != comp[p.CondPin(0)] {
+		t.Error("path conductors not in one component")
+	}
+	if comp[p.CondInW(2)] == comp[p.CondInW(3)] {
+		t.Error("unrelated conductors merged")
+	}
+	// Root must be the smallest member index.
+	root := comp[p.CondPin(0)]
+	min := p.CondHW(2)
+	if root != min {
+		t.Errorf("component root = %s, want %s", p.CondName(root), p.CondName(min))
+	}
+}
+
+// Property: for random switch subsets, Components is a valid partition
+// refinement: two conductors directly joined by an on switch always
+// share a component.
+func TestQuickComponentsRespectSwitches(t *testing.T) {
+	p := Params{W: 4, K: 3}
+	f := func(mask uint64) bool {
+		m := NewMacroConfig(p)
+		sws := p.Switches()
+		for i := range sws {
+			if mask>>(uint(i)%64)&1 == 1 && (i%3 != 0) {
+				m.SetSwitch(i, true)
+			}
+		}
+		comp := m.Components()
+		for i, sw := range sws {
+			if m.SwitchOn(i) && comp[sw.A] != comp[sw.B] {
+				return false
+			}
+		}
+		// Roots must be canonical (smallest index in component).
+		for c, r := range comp {
+			if int(r) > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchKindString(t *testing.T) {
+	if SwitchBoxPair.String() != "sb" || CrossJunction.String() != "cross" || TeeJunction.String() != "tee" {
+		t.Error("SwitchKind.String mismatch")
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := Params{W: 20, K: 6}
+		g := p.buildGraph()
+		if len(g.switches) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	p := Default()
+	m := NewMacroConfig(p)
+	for i := 0; i < p.NumSwitches(); i += 5 {
+		m.SetSwitch(i, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Components()
+	}
+}

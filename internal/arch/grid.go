@@ -1,0 +1,55 @@
+package arch
+
+import "fmt"
+
+// Grid is a rectangular fabric of macros, Width columns by Height rows.
+// Column x grows east, row y grows north, matching wire directions.
+//
+// Following the VPR floorplan the paper's Table II sizes refer to, a
+// "size n" benchmark occupies an n×n logic-block region surrounded by a
+// one-macro perimeter ring holding the I/O pads, for a total grid of
+// (n+2)×(n+2) macros.
+type Grid struct {
+	Width, Height int
+}
+
+// GridForSize returns the grid for a Table II "Size" value: the n×n
+// logic region plus the I/O ring.
+func GridForSize(n int) Grid { return Grid{Width: n + 2, Height: n + 2} }
+
+// Validate reports whether the grid has positive dimensions.
+func (g Grid) Validate() error {
+	if g.Width < 1 || g.Height < 1 {
+		return fmt.Errorf("arch: grid %dx%d invalid", g.Width, g.Height)
+	}
+	return nil
+}
+
+// NumMacros returns Width*Height.
+func (g Grid) NumMacros() int { return g.Width * g.Height }
+
+// Contains reports whether (x, y) lies on the grid.
+func (g Grid) Contains(x, y int) bool {
+	return x >= 0 && x < g.Width && y >= 0 && y < g.Height
+}
+
+// IsPerimeter reports whether (x, y) is on the outermost ring, where
+// I/O pads live.
+func (g Grid) IsPerimeter(x, y int) bool {
+	return g.Contains(x, y) &&
+		(x == 0 || y == 0 || x == g.Width-1 || y == g.Height-1)
+}
+
+// NumPerimeter returns the number of perimeter cells.
+func (g Grid) NumPerimeter() int {
+	if g.Width == 1 || g.Height == 1 {
+		return g.NumMacros()
+	}
+	return 2*g.Width + 2*g.Height - 4
+}
+
+// Index flattens (x, y) to a row-major index.
+func (g Grid) Index(x, y int) int { return y*g.Width + x }
+
+// Coords inverts Index.
+func (g Grid) Coords(i int) (x, y int) { return i % g.Width, i / g.Width }

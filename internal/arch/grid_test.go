@@ -1,0 +1,67 @@
+package arch
+
+import "testing"
+
+func TestGridForSize(t *testing.T) {
+	g := GridForSize(35) // alu4 in Table II
+	if g.Width != 37 || g.Height != 37 {
+		t.Errorf("grid = %dx%d, want 37x37", g.Width, g.Height)
+	}
+	if g.NumMacros() != 37*37 {
+		t.Errorf("NumMacros = %d", g.NumMacros())
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if (Grid{0, 5}).Validate() == nil || (Grid{5, 0}).Validate() == nil {
+		t.Error("degenerate grids should fail")
+	}
+	if (Grid{1, 1}).Validate() != nil {
+		t.Error("1x1 grid should validate")
+	}
+}
+
+func TestGridContainsAndPerimeter(t *testing.T) {
+	g := Grid{4, 3}
+	if !g.Contains(0, 0) || !g.Contains(3, 2) || g.Contains(4, 0) || g.Contains(0, 3) || g.Contains(-1, 0) {
+		t.Error("Contains wrong")
+	}
+	perim := 0
+	for x := 0; x < g.Width; x++ {
+		for y := 0; y < g.Height; y++ {
+			if g.IsPerimeter(x, y) {
+				perim++
+			}
+		}
+	}
+	if perim != g.NumPerimeter() {
+		t.Errorf("NumPerimeter = %d, counted %d", g.NumPerimeter(), perim)
+	}
+	if g.IsPerimeter(1, 1) || g.IsPerimeter(2, 1) {
+		t.Error("interior cell marked perimeter")
+	}
+	if !g.IsPerimeter(0, 1) || !g.IsPerimeter(3, 1) || !g.IsPerimeter(1, 0) || !g.IsPerimeter(1, 2) {
+		t.Error("edge cell not marked perimeter")
+	}
+}
+
+func TestGridNumPerimeterDegenerate(t *testing.T) {
+	if (Grid{1, 5}).NumPerimeter() != 5 {
+		t.Error("1-wide grid perimeter wrong")
+	}
+	if (Grid{5, 1}).NumPerimeter() != 5 {
+		t.Error("1-tall grid perimeter wrong")
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := Grid{7, 5}
+	for x := 0; x < g.Width; x++ {
+		for y := 0; y < g.Height; y++ {
+			gx, gy := g.Coords(g.Index(x, y))
+			if gx != x || gy != y {
+				t.Fatalf("(%d,%d) -> %d -> (%d,%d)", x, y, g.Index(x, y), gx, gy)
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package arch
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bits"
+)
+
+// Switch describes one logical programmable switch of a macro: an
+// electrical connection between two conductors, backed by one or more
+// raw configuration bits.
+//
+// Switch-box pairwise switches occupy a single bit each (the six pairs
+// of a switch point are individually programmable, e.g. a horizontal
+// route on (InW,HW) and a vertical route on (InS,VW) may share a track).
+// Pin junctions bundle the 6 (cross-shaped) or 3 (T-shaped) transistor
+// bits of Eq. (1) into one logical on/off switch: when on, all bits of
+// the junction are set; a junction reads as on when any bit is set.
+type Switch struct {
+	// A and B are the conductors joined when the switch is on; A < B.
+	A, B Cond
+	// FirstBit is the offset of the switch's first bit in the macro's
+	// canonical raw layout.
+	FirstBit int
+	// NumBits is 1 for switch-box pairs, 6 for cross junctions and 3
+	// for T junctions.
+	NumBits int
+	// Kind classifies the switch for diagnostics and statistics.
+	Kind SwitchKind
+}
+
+// SwitchKind classifies programmable switches.
+type SwitchKind int
+
+// Switch kinds.
+const (
+	SwitchBoxPair SwitchKind = iota
+	CrossJunction
+	TeeJunction
+)
+
+func (k SwitchKind) String() string {
+	switch k {
+	case SwitchBoxPair:
+		return "sb"
+	case CrossJunction:
+		return "cross"
+	case TeeJunction:
+		return "tee"
+	default:
+		return fmt.Sprintf("SwitchKind(%d)", int(k))
+	}
+}
+
+// Neighbor is one adjacency entry of the macro conductor graph.
+type Neighbor struct {
+	// Switch indexes into Switches().
+	Switch int
+	// Cond is the conductor on the far side of the switch.
+	Cond Cond
+}
+
+// graph caches the derived switch list and adjacency for a Params value.
+type graph struct {
+	switches []Switch
+	adj      [][]Neighbor // indexed by Cond
+}
+
+var graphCache sync.Map // Params -> *graph
+
+func (p Params) graph() *graph {
+	if g, ok := graphCache.Load(p); ok {
+		return g.(*graph)
+	}
+	g := p.buildGraph()
+	actual, _ := graphCache.LoadOrStore(p, g)
+	return actual.(*graph)
+}
+
+func (p Params) buildGraph() *graph {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &graph{adj: make([][]Neighbor, p.NumConds())}
+	bit := p.NLB()
+
+	addSwitch := func(a, b Cond, nbits int, kind SwitchKind) {
+		if a > b {
+			a, b = b, a
+		}
+		idx := len(g.switches)
+		g.switches = append(g.switches, Switch{A: a, B: b, FirstBit: bit, NumBits: nbits, Kind: kind})
+		g.adj[a] = append(g.adj[a], Neighbor{Switch: idx, Cond: b})
+		g.adj[b] = append(g.adj[b], Neighbor{Switch: idx, Cond: a})
+		bit += nbits
+	}
+
+	// Switch box: per track, six pairwise single-bit switches among the
+	// four incident wires, in canonical pair order.
+	for t := 0; t < p.W; t++ {
+		ends := [4]Cond{p.CondInW(t), p.CondInS(t), p.CondHW(t), p.CondVW(t)}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				addSwitch(ends[i], ends[j], 1, SwitchBoxPair)
+			}
+		}
+	}
+
+	// Connection boxes: each pin wire crosses every track of its
+	// channel; the last crossing is T-shaped (the pin wire ends there).
+	for pin := 0; pin < p.L(); pin++ {
+		pw := p.CondPin(pin)
+		for t := 0; t < p.W; t++ {
+			var wire Cond
+			if p.PinChannelIsX(pin) {
+				wire = p.CondHW(t)
+			} else {
+				wire = p.CondVW(t)
+			}
+			if t < p.W-1 {
+				addSwitch(pw, wire, 6, CrossJunction)
+			} else {
+				addSwitch(pw, wire, 3, TeeJunction)
+			}
+		}
+	}
+
+	if bit != p.NRaw() {
+		panic(fmt.Sprintf("arch: switch layout ends at bit %d, want NRaw=%d", bit, p.NRaw()))
+	}
+	return g
+}
+
+// Switches returns the canonical, cached switch enumeration of a macro.
+// The returned slice must not be modified.
+func (p Params) Switches() []Switch { return p.graph().switches }
+
+// NumSwitches returns the number of logical switches per macro.
+func (p Params) NumSwitches() int { return len(p.graph().switches) }
+
+// Adjacency returns the conductors reachable from c through a single
+// switch. The returned slice must not be modified.
+func (p Params) Adjacency(c Cond) []Neighbor {
+	if c < 0 || int(c) >= p.NumConds() {
+		panic(fmt.Sprintf("arch: conductor %d out of range", c))
+	}
+	return p.graph().adj[c]
+}
+
+// SwitchBetween returns the index of the switch joining a and b, or -1
+// if the two conductors are not directly connected.
+func (p Params) SwitchBetween(a, b Cond) int {
+	for _, n := range p.Adjacency(a) {
+		if n.Cond == b {
+			return n.Switch
+		}
+	}
+	return -1
+}
+
+// MacroConfig is the raw configuration of one macro: NRaw bits in the
+// canonical layout (logic data first, then switch bits).
+type MacroConfig struct {
+	p   Params
+	vec *bits.Vec
+}
+
+// NewMacroConfig returns an all-zero (fully disconnected, LUT=0)
+// configuration for the given architecture.
+func NewMacroConfig(p Params) *MacroConfig {
+	return &MacroConfig{p: p, vec: bits.NewVec(p.NRaw())}
+}
+
+// MacroConfigFromVec wraps an existing NRaw-bit vector. The vector is
+// used directly, not copied.
+func MacroConfigFromVec(p Params, v *bits.Vec) (*MacroConfig, error) {
+	if v.Len() != p.NRaw() {
+		return nil, fmt.Errorf("arch: config has %d bits, want NRaw=%d", v.Len(), p.NRaw())
+	}
+	return &MacroConfig{p: p, vec: v}, nil
+}
+
+// Params returns the architecture this configuration belongs to.
+func (m *MacroConfig) Params() Params { return m.p }
+
+// Vec exposes the underlying bit vector (canonical layout).
+func (m *MacroConfig) Vec() *bits.Vec { return m.vec }
+
+// Clone returns an independent copy.
+func (m *MacroConfig) Clone() *MacroConfig {
+	return &MacroConfig{p: m.p, vec: m.vec.Clone()}
+}
+
+// SetLogic stores the NLB logic bits (LUT truth table then FF enable).
+func (m *MacroConfig) SetLogic(logic *bits.Vec) {
+	if logic.Len() != m.p.NLB() {
+		panic(fmt.Sprintf("arch: logic data has %d bits, want NLB=%d", logic.Len(), m.p.NLB()))
+	}
+	for i := 0; i < logic.Len(); i++ {
+		m.vec.Set(i, logic.Get(i))
+	}
+}
+
+// Logic extracts the NLB logic bits as a fresh vector.
+func (m *MacroConfig) Logic() *bits.Vec {
+	out := bits.NewVec(m.p.NLB())
+	for i := 0; i < out.Len(); i++ {
+		out.Set(i, m.vec.Get(i))
+	}
+	return out
+}
+
+// SetSwitch turns logical switch idx on or off, driving every raw bit
+// of the switch.
+func (m *MacroConfig) SetSwitch(idx int, on bool) {
+	sw := m.p.Switches()[idx]
+	for b := 0; b < sw.NumBits; b++ {
+		m.vec.Set(sw.FirstBit+b, on)
+	}
+}
+
+// SwitchOn reports whether logical switch idx is on (any of its bits
+// set).
+func (m *MacroConfig) SwitchOn(idx int) bool {
+	sw := m.p.Switches()[idx]
+	for b := 0; b < sw.NumBits; b++ {
+		if m.vec.Get(sw.FirstBit + b) {
+			return true
+		}
+	}
+	return false
+}
+
+// OnSwitches returns the indices of all switches currently on, in
+// canonical order.
+func (m *MacroConfig) OnSwitches() []int {
+	var on []int
+	for i := range m.p.Switches() {
+		if m.SwitchOn(i) {
+			on = append(on, i)
+		}
+	}
+	return on
+}
+
+// RoutingBits copies the routing portion of the configuration (bits
+// NLB..NRaw) into a fresh vector of NRaw-NLB bits. This is the payload
+// stored verbatim by the VBS raw-fallback coding.
+func (m *MacroConfig) RoutingBits() *bits.Vec {
+	n := m.p.NRaw() - m.p.NLB()
+	out := bits.NewVec(n)
+	for i := 0; i < n; i++ {
+		out.Set(i, m.vec.Get(m.p.NLB()+i))
+	}
+	return out
+}
+
+// SetRoutingBits installs a routing payload produced by RoutingBits.
+func (m *MacroConfig) SetRoutingBits(v *bits.Vec) {
+	n := m.p.NRaw() - m.p.NLB()
+	if v.Len() != n {
+		panic(fmt.Sprintf("arch: routing payload has %d bits, want %d", v.Len(), n))
+	}
+	for i := 0; i < n; i++ {
+		m.vec.Set(m.p.NLB()+i, v.Get(i))
+	}
+}
+
+// Components returns the partition of the macro's conductors into
+// electrically connected components induced by the on switches. Each
+// conductor is mapped to the smallest conductor index of its component;
+// isolated conductors map to themselves. This is the electrical
+// equivalence the de-virtualization feedback loop compares.
+func (m *MacroConfig) Components() []Cond {
+	n := m.p.NumConds()
+	parent := make([]Cond, n)
+	for i := range parent {
+		parent[i] = Cond(i)
+	}
+	var find func(Cond) Cond
+	find = func(c Cond) Cond {
+		for parent[c] != c {
+			parent[c] = parent[parent[c]]
+			c = parent[c]
+		}
+		return c
+	}
+	union := func(a, b Cond) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // smaller index becomes the root
+	}
+	for i, sw := range m.p.Switches() {
+		if m.SwitchOn(i) {
+			union(sw.A, sw.B)
+		}
+	}
+	out := make([]Cond, n)
+	for i := range out {
+		out[i] = find(Cond(i))
+	}
+	return out
+}

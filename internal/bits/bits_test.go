@@ -1,0 +1,369 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldWidth(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {28, 5}, {40, 6}, {88, 7}, {256, 8}, {257, 9},
+	}
+	for _, c := range cases {
+		if got := FieldWidth(c.n); got != c.want {
+			t.Errorf("FieldWidth(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCeilLog2MatchesPaperExamples(t *testing.T) {
+	// Paper, Section II-B: W=5, L=7 gives M = ceil(log2(4W+L+1)) = 5.
+	if got := CeilLog2(4*5 + 7 + 1); got != 5 {
+		t.Errorf("M for W=5,L=7 = %d, want 5", got)
+	}
+	// At the normalized W=20 the code space is 88 values -> 7 bits.
+	if got := CeilLog2(4*20 + 7 + 1); got != 7 {
+		t.Errorf("M for W=20,L=7 = %d, want 7", got)
+	}
+}
+
+func TestWriterSingleBits(t *testing.T) {
+	var w Writer
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit(%d): %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWriteUintRoundTrip(t *testing.T) {
+	var w Writer
+	values := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 0}, {1, 1}, {0, 1}, {5, 3}, {284, 9}, {1023, 10}, {1, 64},
+		{0xdeadbeef, 32}, {1<<63 - 1, 63},
+	}
+	for _, c := range values {
+		w.WriteUint(c.v, c.width)
+	}
+	r := NewReader(w.Bytes())
+	for _, c := range values {
+		got, err := r.ReadUint(c.width)
+		if err != nil {
+			t.Fatalf("ReadUint(%d): %v", c.width, err)
+		}
+		if got != c.v {
+			t.Errorf("round-trip %d-bit value = %d, want %d", c.width, got, c.v)
+		}
+	}
+}
+
+func TestWriteUintOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on field overflow")
+		}
+	}()
+	var w Writer
+	w.WriteUint(8, 3)
+}
+
+func TestWriteUintBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid width")
+		}
+	}()
+	var w Writer
+	w.WriteUint(0, 65)
+}
+
+func TestReaderOutOfBits(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadUint(8); err != nil {
+		t.Fatalf("ReadUint(8): %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Errorf("ReadBit past end: err = %v, want ErrOutOfBits", err)
+	}
+	if _, err := r.ReadUint(1); err != ErrOutOfBits {
+		t.Errorf("ReadUint past end: err = %v, want ErrOutOfBits", err)
+	}
+	if _, err := r.ReadVec(1); err != ErrOutOfBits {
+		t.Errorf("ReadVec past end: err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestReaderBadWidth(t *testing.T) {
+	r := NewReader(make([]byte, 16))
+	if _, err := r.ReadUint(65); err == nil {
+		t.Error("ReadUint(65) should fail")
+	}
+	if _, err := r.ReadUint(-1); err == nil {
+		t.Error("ReadUint(-1) should fail")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	var w Writer
+	w.WriteUint(3, 3)
+	w.Align()
+	if w.Len() != 8 {
+		t.Fatalf("Len after align = %d, want 8", w.Len())
+	}
+	w.WriteUint(0xab, 8)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadUint(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	got, err := r.ReadUint(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xab {
+		t.Errorf("post-align byte = %#x, want 0xab", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteUint(0xffff, 16)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteUint(5, 4)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadUint(4); v != 5 {
+		t.Errorf("after reset read %d, want 5", v)
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	if v.OnesCount() != len(idx) {
+		t.Errorf("OnesCount = %d, want %d", v.OnesCount(), len(idx))
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Error("bit 64 should be cleared")
+	}
+	if v.OnesCount() != len(idx)-1 {
+		t.Errorf("OnesCount after clear = %d", v.OnesCount())
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := NewVec(10)
+	v.Set(3, true)
+	c := v.Clone()
+	if !c.Equal(v) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(4, true)
+	if v.Get(4) {
+		t.Error("mutation of clone leaked into original")
+	}
+	if v.Equal(c) {
+		t.Error("Equal should detect difference")
+	}
+}
+
+func TestVecEqualLengthMismatch(t *testing.T) {
+	a, b := NewVec(5), NewVec(6)
+	if a.Equal(b) {
+		t.Error("vectors of different length must not be equal")
+	}
+	if a.Equal(nil) {
+		t.Error("nil comparison must be false")
+	}
+}
+
+func TestVecOr(t *testing.T) {
+	a, b := NewVec(70), NewVec(70)
+	a.Set(0, true)
+	b.Set(69, true)
+	a.Or(b)
+	if !a.Get(0) || !a.Get(69) {
+		t.Error("Or lost bits")
+	}
+	if b.Get(0) {
+		t.Error("Or mutated operand")
+	}
+}
+
+func TestVecOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVec(3).Or(NewVec(4))
+}
+
+func TestVecClear(t *testing.T) {
+	v := NewVec(100)
+	for i := 0; i < 100; i += 7 {
+		v.Set(i, true)
+	}
+	v.Clear()
+	if v.OnesCount() != 0 {
+		t.Error("Clear left bits set")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	v := NewVec(4)
+	v.Set(1, true)
+	v.Set(3, true)
+	if s := v.String(); s != "0101" {
+		t.Errorf("String = %q, want 0101", s)
+	}
+}
+
+func TestVecOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVec(4).Get(4)
+}
+
+func TestWriteVecRoundTrip(t *testing.T) {
+	v := NewVec(19)
+	for i := 0; i < 19; i += 3 {
+		v.Set(i, true)
+	}
+	var w Writer
+	w.WriteVec(v)
+	if w.Len() != 19 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	got, err := r.ReadVec(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Errorf("ReadVec = %s, want %s", got, v)
+	}
+}
+
+// Property: any sequence of (value, width) fields round-trips through
+// Writer/Reader exactly.
+func TestQuickFieldSequenceRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 1
+		widths := make([]int, count)
+		vals := make([]uint64, count)
+		var w Writer
+		for i := range widths {
+			widths[i] = rng.Intn(64) + 1
+			vals[i] = rng.Uint64() >> uint(64-widths[i])
+			w.WriteUint(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range widths {
+			got, err := r.ReadUint(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a Vec round-trips through WriteVec/ReadVec for any size and
+// random contents.
+func TestQuickVecRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n % 600)
+		v := NewVec(size)
+		for i := 0; i < size; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		var w Writer
+		w.WriteVec(v)
+		got, err := NewReader(w.Bytes()).ReadVec(size)
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OnesCount equals a naive per-bit count.
+func TestQuickOnesCount(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%500) + 1
+		v := NewVec(size)
+		naive := 0
+		for i := 0; i < size; i++ {
+			b := rng.Intn(3) == 0
+			v.Set(i, b)
+			if b {
+				naive++
+			}
+		}
+		return v.OnesCount() == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriterUint(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 1<<16 {
+			w.Reset()
+		}
+		w.WriteUint(uint64(i)&0x7f, 7)
+	}
+}
+
+func BenchmarkVecSetGet(b *testing.B) {
+	v := NewVec(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Set(i%1024, i&1 == 0)
+		_ = v.Get((i * 7) % 1024)
+	}
+}

@@ -1,0 +1,176 @@
+// Package bitstream generates and verifies raw configuration
+// bit-streams: the uncompressed per-macro switch and logic bits that a
+// conventional FPGA configuration port would consume, and the baseline
+// the paper's Virtual Bit-Stream is compared against (the "BS" series
+// of Figure 4). A task's raw bit-stream covers its full w×h macro
+// bounding box at Nraw bits per macro, whether or not a macro is used.
+package bitstream
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rrg"
+	"repro/internal/unionfind"
+)
+
+// Raw is the full raw configuration of a rectangular fabric region.
+type Raw struct {
+	P arch.Params
+	G arch.Grid
+	// Configs holds one macro configuration per grid cell, indexed by
+	// G.Index.
+	Configs []*arch.MacroConfig
+}
+
+// New returns an all-zero (blank fabric) raw bitstream.
+func New(p arch.Params, g arch.Grid) *Raw {
+	r := &Raw{P: p, G: g, Configs: make([]*arch.MacroConfig, g.NumMacros())}
+	for i := range r.Configs {
+		r.Configs[i] = arch.NewMacroConfig(p)
+	}
+	return r
+}
+
+// SizeBits returns the raw bit-stream size: w*h*Nraw, the paper's raw
+// accounting.
+func (r *Raw) SizeBits() int { return r.G.NumMacros() * r.P.NRaw() }
+
+// At returns the configuration of macro (x, y).
+func (r *Raw) At(x, y int) *arch.MacroConfig { return r.Configs[r.G.Index(x, y)] }
+
+// Clone returns a deep copy.
+func (r *Raw) Clone() *Raw {
+	c := &Raw{P: r.P, G: r.G, Configs: make([]*arch.MacroConfig, len(r.Configs))}
+	for i, m := range r.Configs {
+		c.Configs[i] = m.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two raw bitstreams are bit-identical.
+func (r *Raw) Equal(o *Raw) bool {
+	if r.P != o.P || r.G != o.G {
+		return false
+	}
+	for i := range r.Configs {
+		if !r.Configs[i].Vec().Equal(o.Configs[i].Vec()) {
+			return false
+		}
+	}
+	return true
+}
+
+// LogicVec packs a block's configuration into the NLB logic bits: the
+// LUT truth table followed by the flip-flop enable bit. Pads configure
+// as all-zero logic (their behaviour is fixed by position).
+func LogicVec(p arch.Params, b *netlist.Block) *bits.Vec {
+	v := bits.NewVec(p.NLB())
+	if b.Kind == netlist.LogicBlock {
+		for i := 0; i < b.Truth.Len() && i < 1<<uint(p.K); i++ {
+			v.Set(i, b.Truth.Get(i))
+		}
+		v.Set(p.NLB()-1, b.Registered)
+	}
+	return v
+}
+
+// Generate produces the raw bit-stream of a placed-and-routed design:
+// logic data from block truth tables, switch bits from the routing
+// trees.
+func Generate(d *netlist.Design, pl *place.Placement, res *route.Result) (*Raw, error) {
+	if err := res.Validate(d); err != nil {
+		return nil, fmt.Errorf("bitstream: %w", err)
+	}
+	p := res.Graph.P
+	raw := New(p, pl.Grid)
+	for bi := range d.Blocks {
+		loc := pl.Loc[bi]
+		raw.At(loc.X, loc.Y).SetLogic(LogicVec(p, &d.Blocks[bi]))
+	}
+	for ni := range res.Routes {
+		for _, e := range res.Routes[ni].Edges {
+			raw.Configs[e.Macro].SetSwitch(int(e.Switch), true)
+		}
+	}
+	return raw, nil
+}
+
+// Connectivity computes the electrical partition of all global
+// conductors induced by the configuration's on switches, using the
+// node indexing of gr (which must match the bitstream's architecture
+// and grid).
+func Connectivity(r *Raw, gr *rrg.Graph) (*unionfind.UF, error) {
+	if gr.P != r.P || gr.G != r.G {
+		return nil, fmt.Errorf("bitstream: graph %v/%v does not match bitstream %v/%v",
+			gr.P, gr.G, r.P, r.G)
+	}
+	uf := unionfind.New(gr.NumNodes())
+	sws := r.P.Switches()
+	for y := 0; y < r.G.Height; y++ {
+		for x := 0; x < r.G.Width; x++ {
+			cfg := r.At(x, y)
+			for si := range sws {
+				if !cfg.SwitchOn(si) {
+					continue
+				}
+				a := gr.GlobalNode(x, y, sws[si].A)
+				b := gr.GlobalNode(x, y, sws[si].B)
+				if a == rrg.NoNode || b == rrg.NoNode {
+					// A switch to an off-fabric wire is a dead bit; it
+					// connects nothing.
+					continue
+				}
+				uf.Union(int(a), int(b))
+			}
+		}
+	}
+	return uf, nil
+}
+
+// Verify checks that the configuration implements the design's
+// netlist connectivity under the given placement: for every net, the
+// driver's output pin and all sink pins lie in one electrical
+// component, and no two distinct nets share a component (no shorts).
+func Verify(r *Raw, d *netlist.Design, pl *place.Placement, gr *rrg.Graph) error {
+	uf, err := Connectivity(r, gr)
+	if err != nil {
+		return err
+	}
+	componentNet := make(map[int]netlist.NetID)
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		src := int(gr.NodePin(pl.Loc[net.Driver].X, pl.Loc[net.Driver].Y, 0))
+		root := uf.Find(src)
+		if prev, taken := componentNet[root]; taken && prev != netlist.NetID(ni) {
+			return fmt.Errorf("bitstream: nets %q and %q are shorted",
+				d.Nets[prev].Name, net.Name)
+		}
+		componentNet[root] = netlist.NetID(ni)
+		for _, s := range net.Sinks {
+			phys := s.Input + 1
+			if d.Blocks[s.Block].Kind == netlist.OutputPad {
+				phys = 1
+			}
+			sn := int(gr.NodePin(pl.Loc[s.Block].X, pl.Loc[s.Block].Y, phys))
+			if uf.Find(sn) != root {
+				return fmt.Errorf("bitstream: net %q does not reach sink pin %d of block %q",
+					net.Name, s.Input, d.Blocks[s.Block].Name)
+			}
+		}
+	}
+	// Logic data must match block truth tables.
+	for bi := range d.Blocks {
+		loc := pl.Loc[bi]
+		want := LogicVec(r.P, &d.Blocks[bi])
+		if !r.At(loc.X, loc.Y).Logic().Equal(want) {
+			return fmt.Errorf("bitstream: logic data of block %q at (%d,%d) is wrong",
+				d.Blocks[bi].Name, loc.X, loc.Y)
+		}
+	}
+	return nil
+}

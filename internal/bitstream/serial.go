@@ -1,0 +1,76 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+)
+
+// Raw bitstream container format:
+//
+//	magic   "RBS1"        4 bytes
+//	W, K    uint16 each   architecture parameters
+//	width   uint16        grid width in macros
+//	height  uint16        grid height in macros
+//	payload width*height*Nraw bits, macros in row-major order, each
+//	        macro's bits in canonical layout, MSB-first, zero-padded to
+//	        a byte boundary at the end.
+const rawMagic = "RBS1"
+
+// Encode serializes the raw bitstream.
+func (r *Raw) Encode() []byte {
+	header := make([]byte, 12)
+	copy(header, rawMagic)
+	binary.BigEndian.PutUint16(header[4:], uint16(r.P.W))
+	binary.BigEndian.PutUint16(header[6:], uint16(r.P.K))
+	binary.BigEndian.PutUint16(header[8:], uint16(r.G.Width))
+	binary.BigEndian.PutUint16(header[10:], uint16(r.G.Height))
+
+	w := bits.NewWriter(r.SizeBits())
+	for i := range r.Configs {
+		w.WriteVec(r.Configs[i].Vec())
+	}
+	w.Align()
+	return append(header, w.Bytes()...)
+}
+
+// Decode parses a container produced by Encode.
+func Decode(data []byte) (*Raw, error) {
+	if len(data) < 12 || string(data[:4]) != rawMagic {
+		return nil, fmt.Errorf("bitstream: bad magic")
+	}
+	p := arch.Params{
+		W: int(binary.BigEndian.Uint16(data[4:])),
+		K: int(binary.BigEndian.Uint16(data[6:])),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("bitstream: %w", err)
+	}
+	g := arch.Grid{
+		Width:  int(binary.BigEndian.Uint16(data[8:])),
+		Height: int(binary.BigEndian.Uint16(data[10:])),
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("bitstream: %w", err)
+	}
+	need := g.NumMacros() * p.NRaw()
+	r := bits.NewReader(data[12:])
+	if r.Remaining() < need {
+		return nil, fmt.Errorf("bitstream: payload has %d bits, need %d", r.Remaining(), need)
+	}
+	raw := &Raw{P: p, G: g, Configs: make([]*arch.MacroConfig, g.NumMacros())}
+	for i := range raw.Configs {
+		v, err := r.ReadVec(p.NRaw())
+		if err != nil {
+			return nil, fmt.Errorf("bitstream: macro %d: %w", i, err)
+		}
+		cfg, err := arch.MacroConfigFromVec(p, v)
+		if err != nil {
+			return nil, err
+		}
+		raw.Configs[i] = cfg
+	}
+	return raw, nil
+}

@@ -1,0 +1,255 @@
+// Package controller implements the run-time reconfiguration manager
+// of Section II-C: it accepts Virtual Bit-Streams, de-virtualizes them
+// — in parallel, macro by macro, as the paper's architecture sketch
+// shows — places them on the fabric at load time, and supports
+// unloading and on-the-fly relocation (Section V).
+package controller
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// Controller manages tasks on one fabric.
+type Controller struct {
+	fab     *fabric.Fabric
+	workers int
+	tasks   map[fabric.TaskID]*Task
+	nextID  fabric.TaskID
+}
+
+// Task records a loaded hardware task.
+type Task struct {
+	ID   fabric.TaskID
+	VBS  *core.VBS
+	X, Y int
+}
+
+// New returns a controller decoding with the given worker count
+// (0 selects GOMAXPROCS).
+func New(f *fabric.Fabric, workers int) *Controller {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Controller{fab: f, workers: workers, tasks: make(map[fabric.TaskID]*Task)}
+}
+
+// Fabric returns the managed fabric.
+func (c *Controller) Fabric() *fabric.Fabric { return c.fab }
+
+// Tasks returns the number of loaded tasks.
+func (c *Controller) Tasks() int { return len(c.tasks) }
+
+// Task returns a loaded task by id.
+func (c *Controller) Task(id fabric.TaskID) (*Task, bool) {
+	t, ok := c.tasks[id]
+	return t, ok
+}
+
+// Load places the task at the first position where it fits without
+// seam conflicts and returns its id and position.
+func (c *Controller) Load(v *core.VBS) (*Task, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if v.P != c.fab.Params() {
+		return nil, fmt.Errorf("controller: task architecture %v, fabric %v", v.P, c.fab.Params())
+	}
+	// Try successive free slots; a slot may be rejected by seam
+	// analysis when an abutting task drives the same boundary wires.
+	g := c.fab.Grid()
+	for y := 0; y+v.TaskH <= g.Height; y++ {
+		for x := 0; x+v.TaskW <= g.Width; x++ {
+			if c.fab.OwnerAt(x, y) != fabric.NoTask {
+				continue
+			}
+			t, err := c.LoadAt(v, x, y)
+			if err == nil {
+				return t, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("controller: no conflict-free slot for %dx%d task", v.TaskW, v.TaskH)
+}
+
+// LoadAt places the task at an explicit position.
+func (c *Controller) LoadAt(v *core.VBS, x0, y0 int) (*Task, error) {
+	if v.P != c.fab.Params() {
+		return nil, fmt.Errorf("controller: task architecture %v, fabric %v", v.P, c.fab.Params())
+	}
+	id := c.nextID
+	if err := c.fab.Allocate(id, x0, y0, v.TaskW, v.TaskH); err != nil {
+		return nil, err
+	}
+	if err := c.writeTask(v, x0, y0); err != nil {
+		c.fab.Release(id)
+		return nil, err
+	}
+	if conflicts := c.fab.SeamConflicts(x0, y0, v.TaskW, v.TaskH); len(conflicts) > 0 {
+		c.fab.Release(id)
+		return nil, fmt.Errorf("controller: seam conflicts at (%d,%d): %s", x0, y0, conflicts[0])
+	}
+	c.nextID++
+	t := &Task{ID: id, VBS: v, X: x0, Y: y0}
+	c.tasks[id] = t
+	return t, nil
+}
+
+// Unload removes a task and clears its fabric region.
+func (c *Controller) Unload(id fabric.TaskID) error {
+	if _, ok := c.tasks[id]; !ok {
+		return fmt.Errorf("controller: task %d not loaded", id)
+	}
+	c.fab.Release(id)
+	delete(c.tasks, id)
+	return nil
+}
+
+// Relocate moves a loaded task to a new position by re-decoding its
+// VBS there — the on-the-fly migration path of Section V. The old
+// region is released first, so a task may relocate into overlapping
+// free space.
+func (c *Controller) Relocate(id fabric.TaskID, x0, y0 int) error {
+	t, ok := c.tasks[id]
+	if !ok {
+		return fmt.Errorf("controller: task %d not loaded", id)
+	}
+	oldX, oldY := t.X, t.Y
+	c.fab.Release(id)
+	if err := c.fab.Allocate(id, x0, y0, t.VBS.TaskW, t.VBS.TaskH); err != nil {
+		// Restore at the old position; the VBS makes this loss-free.
+		if err2 := c.fab.Allocate(id, oldX, oldY, t.VBS.TaskW, t.VBS.TaskH); err2 != nil {
+			return fmt.Errorf("controller: relocation failed and restore impossible: %v / %v", err, err2)
+		}
+		if err2 := c.writeTask(t.VBS, oldX, oldY); err2 != nil {
+			return fmt.Errorf("controller: restore decode failed: %v", err2)
+		}
+		return err
+	}
+	if err := c.writeTask(t.VBS, x0, y0); err != nil {
+		return err
+	}
+	t.X, t.Y = x0, y0
+	return nil
+}
+
+// Compact defragments the fabric: tasks are relocated one by one to
+// the first-fit position scanning from the origin, coalescing free
+// space. Because every task is loaded from a position-free VBS, this
+// is a pure runtime operation — the paper's motivating scenario for
+// relocation. It returns the number of tasks moved.
+func (c *Controller) Compact() (moved int, err error) {
+	// Deterministic order: by current position, row-major.
+	ids := make([]fabric.TaskID, 0, len(c.tasks))
+	for id := range c.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := c.tasks[ids[a]], c.tasks[ids[b]]
+		if ta.Y != tb.Y {
+			return ta.Y < tb.Y
+		}
+		if ta.X != tb.X {
+			return ta.X < tb.X
+		}
+		return ids[a] < ids[b]
+	})
+	g := c.fab.Grid()
+	for _, id := range ids {
+		t := c.tasks[id]
+	scan:
+		for y := 0; y <= t.Y; y++ {
+			maxX := g.Width - t.VBS.TaskW
+			if y == t.Y {
+				maxX = t.X - 1
+			}
+			for x := 0; x <= maxX; x++ {
+				if x == t.X && y == t.Y {
+					continue
+				}
+				if err := c.Relocate(id, x, y); err == nil {
+					moved++
+					break scan
+				}
+			}
+		}
+	}
+	return moved, nil
+}
+
+// writeTask de-virtualizes the VBS into the fabric configuration at
+// (x0, y0), decoding entries in parallel across the worker pool.
+func (c *Controller) writeTask(v *core.VBS, x0, y0 int) error {
+	cfgs, err := c.DecodeParallel(v)
+	if err != nil {
+		return err
+	}
+	raw := c.fab.Config()
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		cw, _ := v.RegionDims(e.X, e.Y)
+		baseX := x0 + e.X*v.Cluster
+		baseY := y0 + e.Y*v.Cluster
+		for m, cfg := range cfgs[i] {
+			mi, mj := m%cw, m/cw
+			raw.At(baseX+mi, baseY+mj).Vec().Or(cfg.Vec())
+		}
+	}
+	return nil
+}
+
+// DecodeParallel de-virtualizes every entry of the VBS concurrently:
+// each region decodes independently (the property Section II-C calls
+// out), so the work distributes over the controller's workers. The
+// result is indexed like v.Entries; it is deterministic regardless of
+// worker count.
+func (c *Controller) DecodeParallel(v *core.VBS) ([][]*arch.MacroConfig, error) {
+	n := len(v.Entries)
+	out := make([][]*arch.MacroConfig, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cfgs, err := v.DecodeEntry(i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("controller: entry %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = cfgs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rrg"
+)
+
+// makeTask compiles a small random task to a VBS.
+func makeTask(t testing.TB, seed int64, nLB, size, w, cluster int) *core.VBS {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := &netlist.Design{Name: "task", K: 6}
+	var nets []netlist.NetID
+	for i := 0; i < 4; i++ {
+		_, n := d.AddInputPad("pi")
+		nets = append(nets, n)
+	}
+	for i := 0; i < nLB; i++ {
+		nin := rng.Intn(4) + 1
+		ins := make([]netlist.NetID, nin)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		truth := bits.NewVec(64)
+		for b := 0; b < 64; b++ {
+			truth.Set(b, rng.Intn(2) == 0)
+		}
+		_, n := d.AddLogicBlock("lb", ins, truth, false)
+		nets = append(nets, n)
+	}
+	for i := 0; i < 4; i++ {
+		d.AddOutputPad("po", nets[len(nets)-1-i])
+	}
+	pl, err := place.Place(d, arch.GridForSize(size), place.Options{Seed: seed, InnerNum: 1, FastExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := rrg.Build(arch.Params{W: w, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(d, pl, gr, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := core.Encode(d, pl, res, core.EncodeOptions{Cluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func newController(t testing.TB, gridW, gridH, w, workers int) *Controller {
+	t.Helper()
+	f, err := fabric.New(arch.Params{W: w, K: 6}, arch.Grid{Width: gridW, Height: gridH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(f, workers)
+}
+
+func TestLoadUnload(t *testing.T) {
+	v := makeTask(t, 1, 12, 4, 8, 1)
+	c := newController(t, 16, 16, 8, 2)
+	task, err := c.Load(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tasks() != 1 {
+		t.Errorf("Tasks = %d", c.Tasks())
+	}
+	if _, ok := c.Task(task.ID); !ok {
+		t.Error("task not retrievable")
+	}
+	// Fabric region owned and configured.
+	if c.Fabric().OwnerAt(task.X, task.Y) != task.ID {
+		t.Error("fabric not owned")
+	}
+	used := 0
+	for x := 0; x < v.TaskW; x++ {
+		for y := 0; y < v.TaskH; y++ {
+			used += c.Fabric().Config().At(task.X+x, task.Y+y).Vec().OnesCount()
+		}
+	}
+	if used == 0 {
+		t.Error("no configuration written")
+	}
+	if err := c.Unload(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tasks() != 0 || c.Fabric().FreeMacros() != 16*16 {
+		t.Error("unload incomplete")
+	}
+	if err := c.Unload(task.ID); err == nil {
+		t.Error("double unload accepted")
+	}
+}
+
+// TestMultiTask loads several tasks and checks disjoint placement.
+func TestMultiTask(t *testing.T) {
+	c := newController(t, 20, 20, 8, 2)
+	var tasks []*Task
+	for seed := int64(1); seed <= 3; seed++ {
+		v := makeTask(t, seed, 10, 4, 8, 1)
+		task, err := c.Load(v)
+		if err != nil {
+			t.Fatalf("task %d: %v", seed, err)
+		}
+		tasks = append(tasks, task)
+	}
+	if c.Tasks() != 3 {
+		t.Fatalf("Tasks = %d", c.Tasks())
+	}
+	for i, a := range tasks {
+		for _, b := range tasks[i+1:] {
+			if a.X < b.X+b.VBS.TaskW && b.X < a.X+a.VBS.TaskW &&
+				a.Y < b.Y+b.VBS.TaskH && b.Y < a.Y+a.VBS.TaskH {
+				t.Errorf("tasks %d and %d overlap", a.ID, b.ID)
+			}
+		}
+	}
+}
+
+// TestParallelDecodeMatchesSequential: the controller's parallel
+// decode must equal the reference decoder bit for bit, at any worker
+// count.
+func TestParallelDecodeMatchesSequential(t *testing.T) {
+	v := makeTask(t, 4, 16, 5, 8, 2)
+	ref, err := v.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		c := newController(t, v.TaskW, v.TaskH, 8, workers)
+		task, err := c.LoadAt(v, 0, 0)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for x := 0; x < v.TaskW; x++ {
+			for y := 0; y < v.TaskH; y++ {
+				if !c.Fabric().Config().At(x, y).Vec().Equal(ref.At(x, y).Vec()) {
+					t.Fatalf("workers=%d: macro (%d,%d) differs from reference", workers, x, y)
+				}
+			}
+		}
+		if err := c.Unload(task.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRelocate moves a task and verifies the configuration is a
+// translation of the original.
+func TestRelocate(t *testing.T) {
+	v := makeTask(t, 5, 12, 4, 8, 1)
+	c := newController(t, 20, 20, 8, 2)
+	task, err := c.LoadAt(v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]*bits.Vec, 0, v.TaskW*v.TaskH)
+	for y := 0; y < v.TaskH; y++ {
+		for x := 0; x < v.TaskW; x++ {
+			before = append(before, c.Fabric().Config().At(x, y).Vec().Clone())
+		}
+	}
+	if err := c.Relocate(task.ID, 9, 7); err != nil {
+		t.Fatal(err)
+	}
+	if task.X != 9 || task.Y != 7 {
+		t.Errorf("task position (%d,%d)", task.X, task.Y)
+	}
+	k := 0
+	for y := 0; y < v.TaskH; y++ {
+		for x := 0; x < v.TaskW; x++ {
+			got := c.Fabric().Config().At(9+x, 7+y).Vec()
+			if !got.Equal(before[k]) {
+				t.Fatalf("macro (%d,%d) not a translation", x, y)
+			}
+			k++
+		}
+	}
+	// Old region cleared.
+	if c.Fabric().Config().At(0, 0).Vec().OnesCount() != 0 {
+		t.Error("old region not cleared")
+	}
+	if c.Fabric().OwnerAt(0, 0) != fabric.NoTask {
+		t.Error("old region still owned")
+	}
+}
+
+func TestRelocateFailureRestores(t *testing.T) {
+	v := makeTask(t, 6, 10, 4, 8, 1)
+	c := newController(t, 14, 14, 8, 2)
+	task, err := c.LoadAt(v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := makeTask(t, 7, 8, 4, 8, 1)
+	if _, err := c.LoadAt(blocker, 7, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Target overlaps the blocker: relocation must fail and restore.
+	if err := c.Relocate(task.ID, 6, 6); err == nil {
+		t.Fatal("relocation into occupied space accepted")
+	}
+	if task.X != 0 || task.Y != 0 {
+		t.Errorf("task moved to (%d,%d) despite failure", task.X, task.Y)
+	}
+	if c.Fabric().OwnerAt(0, 0) != task.ID {
+		t.Error("task region not restored")
+	}
+	used := 0
+	for x := 0; x < v.TaskW; x++ {
+		for y := 0; y < v.TaskH; y++ {
+			used += c.Fabric().Config().At(x, y).Vec().OnesCount()
+		}
+	}
+	if used == 0 {
+		t.Error("configuration not restored after failed relocation")
+	}
+}
+
+func TestLoadRejectsWrongArch(t *testing.T) {
+	v := makeTask(t, 8, 8, 4, 8, 1)
+	c := newController(t, 16, 16, 9, 2) // W=9 fabric, task compiled for W=8
+	if _, err := c.Load(v); err == nil {
+		t.Error("architecture mismatch accepted")
+	}
+}
+
+func TestLoadFullFabric(t *testing.T) {
+	v := makeTask(t, 9, 8, 4, 8, 1)
+	c := newController(t, v.TaskW, v.TaskH, 8, 1)
+	if _, err := c.Load(v); err != nil {
+		t.Fatalf("exact-fit load: %v", err)
+	}
+	v2 := makeTask(t, 10, 8, 4, 8, 1)
+	if _, err := c.Load(v2); err == nil {
+		t.Error("second task on full fabric accepted")
+	}
+}
+
+func BenchmarkParallelDecode(b *testing.B) {
+	v := makeTask(b, 11, 30, 7, 8, 2)
+	c := newController(b, v.TaskW, v.TaskH, 8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeParallel(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCompact: after unloading a task in the middle, Compact must pull
+// the remaining tasks toward the origin, coalescing free space.
+func TestCompact(t *testing.T) {
+	c := newController(t, 24, 24, 8, 2)
+	var ids []fabric.TaskID
+	for seed := int64(20); seed < 23; seed++ {
+		v := makeTask(t, seed, 8, 4, 8, 1)
+		task, err := c.Load(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, task.ID)
+	}
+	// Free the first slot; the others should slide into it.
+	first, _ := c.Task(ids[0])
+	w := first.VBS.TaskW
+	if err := c.Unload(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("Compact moved nothing despite a freed slot")
+	}
+	second, _ := c.Task(ids[1])
+	if second.X != 0 || second.Y != 0 {
+		t.Errorf("task %d at (%d,%d), want origin", ids[1], second.X, second.Y)
+	}
+	// All tasks still loaded and regions owned consistently.
+	if c.Tasks() != 2 {
+		t.Errorf("Tasks = %d", c.Tasks())
+	}
+	_ = w
+}
+
+// TestCompactIdempotent: a second Compact on an already-compacted
+// fabric moves nothing.
+func TestCompactIdempotent(t *testing.T) {
+	c := newController(t, 20, 20, 8, 1)
+	for seed := int64(30); seed < 32; seed++ {
+		if _, err := c.Load(makeTask(t, seed, 6, 4, 8, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Errorf("second Compact moved %d tasks", moved)
+	}
+}

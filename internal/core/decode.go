@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/devirt"
+)
+
+// Decode de-virtualizes the VBS into a raw bitstream covering the
+// task's own w×h grid (the task placed at the origin). It is the
+// single-threaded reference decoder; the runtime controller wraps it
+// with placement and parallel region decoding.
+//
+// Decoding is a pure function of the VBS contents: the same
+// deterministic region router runs regardless of the final position,
+// which is what makes the format relocatable. Wires missing at a
+// particular position (fabric edges) are guaranteed unused by the
+// encoder's feedback loop.
+func (v *VBS) Decode() (*bitstream.Raw, error) {
+	g := arch.Grid{Width: v.TaskW, Height: v.TaskH}
+	out := bitstream.New(v.P, g)
+	if err := v.DecodeInto(out, 0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto de-virtualizes the task into an existing fabric
+// configuration with the task's south-west macro at (x0, y0). The
+// target must be large enough to hold the task.
+func (v *VBS) DecodeInto(target *bitstream.Raw, x0, y0 int) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if target.P != v.P {
+		return fmt.Errorf("core: decode onto %v fabric, task compiled for %v", target.P, v.P)
+	}
+	if x0 < 0 || y0 < 0 || x0+v.TaskW > target.G.Width || y0+v.TaskH > target.G.Height {
+		return fmt.Errorf("core: task %dx%d at (%d,%d) exceeds %dx%d fabric",
+			v.TaskW, v.TaskH, x0, y0, target.G.Width, target.G.Height)
+	}
+	for i := range v.Entries {
+		if err := v.decodeEntry(&v.Entries[i], target, x0, y0); err != nil {
+			return fmt.Errorf("core: entry %d at region (%d,%d): %w",
+				i, v.Entries[i].X, v.Entries[i].Y, err)
+		}
+	}
+	return nil
+}
+
+// DecodeEntry decodes one entry in isolation and returns the
+// region's member configurations (row-major, actual members only).
+// This is the unit of work the parallel controller distributes.
+func (v *VBS) DecodeEntry(i int) ([]*arch.MacroConfig, error) {
+	if i < 0 || i >= len(v.Entries) {
+		return nil, fmt.Errorf("core: entry %d out of range", i)
+	}
+	e := &v.Entries[i]
+	cw, ch := v.RegionDims(e.X, e.Y)
+	cfgs, err := v.regionConfigs(e)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfgs) != cw*ch {
+		return nil, fmt.Errorf("core: entry %d decoded %d members, want %d", i, len(cfgs), cw*ch)
+	}
+	return cfgs, nil
+}
+
+func (v *VBS) decodeEntry(e *Entry, target *bitstream.Raw, x0, y0 int) error {
+	cfgs, err := v.regionConfigs(e)
+	if err != nil {
+		return err
+	}
+	cw, ch := v.RegionDims(e.X, e.Y)
+	baseX := x0 + e.X*v.Cluster
+	baseY := y0 + e.Y*v.Cluster
+	for j := 0; j < ch; j++ {
+		for i := 0; i < cw; i++ {
+			src := cfgs[j*cw+i].Vec()
+			dst := target.At(baseX+i, baseY+j).Vec()
+			if dst.Len() != src.Len() {
+				return fmt.Errorf("core: member config size mismatch")
+			}
+			dst.Or(src)
+		}
+	}
+	return nil
+}
+
+// regionConfigs materializes an entry's member configurations: logic
+// data merged with either the de-virtualized routing or the raw
+// payload.
+func (v *VBS) regionConfigs(e *Entry) ([]*arch.MacroConfig, error) {
+	cw, ch := v.RegionDims(e.X, e.Y)
+	var cfgs []*arch.MacroConfig
+	if e.Raw {
+		cfgs = make([]*arch.MacroConfig, cw*ch)
+		for m := range cfgs {
+			cfgs[m] = arch.NewMacroConfig(v.P)
+			cfgs[m].SetRoutingBits(e.RawBits[m])
+		}
+	} else {
+		reg := v.Region(e.X, e.Y)
+		rt, err := devirt.NewRouter(reg, false, false)
+		if err != nil {
+			return nil, err
+		}
+		// Endpoint reservation: the whole list is known before routing
+		// starts, so no connection may route through another's terminal.
+		for _, c := range e.Conns {
+			if err := rt.Reserve(c.In); err != nil {
+				return nil, err
+			}
+			if err := rt.Reserve(c.Out); err != nil {
+				return nil, err
+			}
+		}
+		for k, c := range e.Conns {
+			if err := rt.RouteConnection(c.In, c.Out); err != nil {
+				return nil, fmt.Errorf("connection %d (%d->%d): %w", k, c.In, c.Out, err)
+			}
+		}
+		cfgs = rt.Configs()
+	}
+	for _, li := range e.Logic {
+		j, i := li.Member/v.Cluster, li.Member%v.Cluster
+		if i >= cw || j >= ch {
+			return nil, fmt.Errorf("logic member %d outside %dx%d region", li.Member, cw, ch)
+		}
+		cfgs[j*cw+i].SetLogic(li.Data)
+	}
+	return cfgs, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/devirt"
+)
+
+// Container format: a small self-describing preamble (so a controller
+// can parse a VBS file without out-of-band metadata), followed by the
+// bit-exact Table I payload.
+//
+//	magic   "VBS1"     4 bytes
+//	version uint8      currently 1
+//	W       uint16     channel width
+//	K       uint8      LUT size
+//	cluster uint8      coding granularity c
+//	taskW   uint16     task width in macros
+//	taskH   uint16     task height in macros
+//	payload bit fields per the package comment, zero-padded to a byte
+const vbsMagic = "VBS1"
+
+const vbsVersion = 1
+
+// Encode serializes the VBS container.
+func (v *VBS) Encode() ([]byte, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	header := make([]byte, 13)
+	copy(header, vbsMagic)
+	header[4] = vbsVersion
+	binary.BigEndian.PutUint16(header[5:], uint16(v.P.W))
+	header[7] = uint8(v.P.K)
+	header[8] = uint8(v.Cluster)
+	binary.BigEndian.PutUint16(header[9:], uint16(v.TaskW))
+	binary.BigEndian.PutUint16(header[11:], uint16(v.TaskH))
+
+	w := bits.NewWriter(v.Size())
+	w.WriteUint(uint64(v.TaskW-1), v.CoordBits())
+	w.WriteUint(uint64(v.TaskH-1), v.CoordBits())
+	w.WriteUint(uint64(len(v.Entries)), v.CountBits())
+	c := v.Cluster
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		w.WriteUint(uint64(e.X), v.RegionCoordBits())
+		w.WriteUint(uint64(e.Y), v.RegionCoordBits())
+		present := make([]bool, c*c)
+		for _, li := range e.Logic {
+			present[li.Member] = true
+		}
+		for _, p := range present {
+			w.WriteBool(p)
+		}
+		for _, li := range e.Logic {
+			w.WriteVec(li.Data)
+		}
+		w.WriteBool(e.Raw)
+		if e.Raw {
+			for _, rb := range e.RawBits {
+				w.WriteVec(rb)
+			}
+		} else {
+			w.WriteUint(uint64(len(e.Conns)), v.RouteCountBits())
+			m := v.MBits()
+			for _, cn := range e.Conns {
+				w.WriteUint(uint64(cn.In), m)
+				w.WriteUint(uint64(cn.Out), m)
+			}
+		}
+	}
+	w.Align()
+	return append(header, w.Bytes()...), nil
+}
+
+// Parse reads a VBS container produced by Encode.
+func Parse(data []byte) (*VBS, error) {
+	if len(data) < 13 || string(data[:4]) != vbsMagic {
+		return nil, fmt.Errorf("core: bad magic")
+	}
+	if data[4] != vbsVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", data[4])
+	}
+	v := &VBS{
+		P: arch.Params{
+			W: int(binary.BigEndian.Uint16(data[5:])),
+			K: int(data[7]),
+		},
+		Cluster: int(data[8]),
+		TaskW:   int(binary.BigEndian.Uint16(data[9:])),
+		TaskH:   int(binary.BigEndian.Uint16(data[11:])),
+	}
+	if err := v.P.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if v.Cluster < 1 || v.TaskW < 1 || v.TaskH < 1 {
+		return nil, fmt.Errorf("core: malformed preamble")
+	}
+	r := bits.NewReader(data[13:])
+	tw, err := r.ReadUint(v.CoordBits())
+	if err != nil {
+		return nil, fmt.Errorf("core: header: %w", err)
+	}
+	th, err := r.ReadUint(v.CoordBits())
+	if err != nil {
+		return nil, fmt.Errorf("core: header: %w", err)
+	}
+	if int(tw)+1 != v.TaskW || int(th)+1 != v.TaskH {
+		return nil, fmt.Errorf("core: preamble/payload dimension mismatch")
+	}
+	count, err := r.ReadUint(v.CountBits())
+	if err != nil {
+		return nil, fmt.Errorf("core: header: %w", err)
+	}
+	if count > uint64(v.RegionsW()*v.RegionsH()) {
+		return nil, fmt.Errorf("core: entry count %d exceeds region count", count)
+	}
+	c := v.Cluster
+	for i := 0; i < int(count); i++ {
+		var e Entry
+		x, err := r.ReadUint(v.RegionCoordBits())
+		if err != nil {
+			return nil, fmt.Errorf("core: entry %d: %w", i, err)
+		}
+		y, err := r.ReadUint(v.RegionCoordBits())
+		if err != nil {
+			return nil, fmt.Errorf("core: entry %d: %w", i, err)
+		}
+		e.X, e.Y = int(x), int(y)
+		if e.X >= v.RegionsW() || e.Y >= v.RegionsH() {
+			return nil, fmt.Errorf("core: entry %d position (%d,%d) out of range", i, e.X, e.Y)
+		}
+		present := make([]bool, c*c)
+		for m := range present {
+			b, err := r.ReadBool()
+			if err != nil {
+				return nil, fmt.Errorf("core: entry %d bitmap: %w", i, err)
+			}
+			present[m] = b
+		}
+		for m, p := range present {
+			if !p {
+				continue
+			}
+			data, err := r.ReadVec(v.P.NLB())
+			if err != nil {
+				return nil, fmt.Errorf("core: entry %d logic: %w", i, err)
+			}
+			e.Logic = append(e.Logic, LogicItem{Member: m, Data: data})
+		}
+		raw, err := r.ReadBool()
+		if err != nil {
+			return nil, fmt.Errorf("core: entry %d mode: %w", i, err)
+		}
+		e.Raw = raw
+		if raw {
+			cw, ch := v.RegionDims(e.X, e.Y)
+			for m := 0; m < cw*ch; m++ {
+				rb, err := r.ReadVec(v.P.NRaw() - v.P.NLB())
+				if err != nil {
+					return nil, fmt.Errorf("core: entry %d raw payload: %w", i, err)
+				}
+				e.RawBits = append(e.RawBits, rb)
+			}
+		} else {
+			n, err := r.ReadUint(v.RouteCountBits())
+			if err != nil {
+				return nil, fmt.Errorf("core: entry %d route count: %w", i, err)
+			}
+			m := v.MBits()
+			for k := 0; k < int(n); k++ {
+				in, err := r.ReadUint(m)
+				if err != nil {
+					return nil, fmt.Errorf("core: entry %d connection %d: %w", i, k, err)
+				}
+				out, err := r.ReadUint(m)
+				if err != nil {
+					return nil, fmt.Errorf("core: entry %d connection %d: %w", i, k, err)
+				}
+				e.Conns = append(e.Conns, Conn{In: devirt.IOCode(in), Out: devirt.IOCode(out)})
+			}
+		}
+		v.Entries = append(v.Entries, e)
+	}
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: parsed container invalid: %w", err)
+	}
+	return v, nil
+}

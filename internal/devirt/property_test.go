@@ -1,0 +1,106 @@
+package devirt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestClusterAgreesWithMacroOnStraightRoutes: a straight track-to-track
+// route through a 2x2 cluster must produce, in each traversed member,
+// the same switch the single-macro router would choose — the cluster
+// abstraction changes the coding granularity, not the physics.
+func TestClusterAgreesWithMacroOnStraightRoutes(t *testing.T) {
+	p := arch.PaperExample()
+	r1 := Region{P: p, Nominal: 1, CW: 1, CH: 1}
+	r2 := Region{P: p, Nominal: 2, CW: 2, CH: 2}
+	for tr := 0; tr < p.W; tr++ {
+		// Macro route W->E on track tr.
+		m, err := NewRouter(r1, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RouteConnection(r1.CodeWest(0, tr), r1.CodeEast(0, tr)); err != nil {
+			t.Fatal(err)
+		}
+		macroBits := m.Configs()[0].Vec()
+
+		// Cluster route W->E on row 0, same track.
+		c, err := NewRouter(r2, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RouteConnection(r2.CodeWest(0, tr), r2.CodeEast(0, tr)); err != nil {
+			t.Fatal(err)
+		}
+		for member := 0; member < 2; member++ { // members (0,0) and (1,0)
+			if !c.Configs()[member].Vec().Equal(macroBits) {
+				t.Fatalf("track %d member %d: cluster route differs from macro route", tr, member)
+			}
+		}
+	}
+}
+
+// TestRandomPairSequencesNeverCorrupt: random (possibly unroutable)
+// connection sequences must never panic and must leave the router in a
+// consistent state: every on switch joins two conductors owned by the
+// same net.
+func TestRandomPairSequencesNeverCorrupt(t *testing.T) {
+	p := arch.Params{W: 6, K: 4}
+	r := Region{P: p, Nominal: 2, CW: 2, CH: 2}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rt, err := NewRouter(r, rng.Intn(2) == 0, rng.Intn(2) == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			in := IOCode(rng.Intn(r.NumIOCodes()-1) + 1)
+			out := IOCode(rng.Intn(r.NumIOCodes()-1) + 1)
+			_ = rt.RouteConnection(in, out) // failures are fine
+		}
+		// Consistency: each member's on switches connect conductors of
+		// one net.
+		for mi, cfg := range rt.Configs() {
+			j, i := mi/r.CW, mi%r.CW
+			for _, si := range cfg.OnSwitches() {
+				sw := p.Switches()[si]
+				a := r.resolveLocal(i, j, sw.A)
+				b := r.resolveLocal(i, j, sw.B)
+				oa, ob := rt.owner[a], rt.owner[b]
+				if oa < 0 || ob < 0 || oa != ob {
+					t.Fatalf("seed %d member %d: switch %d joins owners %d and %d",
+						seed, mi, si, oa, ob)
+				}
+			}
+		}
+	}
+}
+
+// TestReserveSteersAroundEndpoints: with an alternative available, the
+// router must avoid a reserved conductor; the reserved conductor must
+// then still be claimable by its own connection.
+func TestReserveSteersAroundEndpoints(t *testing.T) {
+	p := arch.PaperExample()
+	r := Region{P: p, Nominal: 1, CW: 1, CH: 1}
+	rt, err := NewRouter(r, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve East track 2 (= HW(2)), then route West 1 -> East 3
+	// (a track change that could pass through any HW via a pin wire).
+	if err := rt.Reserve(r.CodeEast(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RouteConnection(r.CodeWest(0, 1), r.CodeEast(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if o, _ := rt.Owner(r.CodeEast(0, 2)); o != -1 {
+		t.Fatal("router consumed the reserved conductor despite alternatives")
+	}
+	// The reserved endpoint still routes for its own connection.
+	if err := rt.RouteConnection(r.CodeWest(0, 2), r.CodeEast(0, 2)); err != nil {
+		t.Fatalf("reserved endpoint unusable by its own connection: %v", err)
+	}
+}

@@ -1,0 +1,275 @@
+package devirt
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Conductor traversal costs. Interior resources are cheap; boundary
+// wires are expensive as intermediates because a neighbouring region
+// may use the same physical wire (the encoder's feedback loop catches
+// the rare collisions and falls back to raw coding); input pin wires
+// sit in between (route-throughs are legal but consume a possible
+// later terminal).
+const (
+	costInternal = 2
+	costInputPin = 3
+	costBoundary = 9
+	// costReserved is added when routing through a conductor that a
+	// later connection names as an endpoint: legal, but it risks a
+	// collision the feedback loop would then have to repair, so the
+	// router only does it when no clean path exists.
+	costReserved = 64
+)
+
+// Router decodes one region's connection list into switch states. It
+// is the stateful router of Section II-C: connections are processed in
+// list order, earlier connections claim conductors, and later
+// connections must route around them. The same net may be extended by
+// reusing an endpoint that is already claimed.
+type Router struct {
+	g *regionGraph
+	// closedW/closedS mark regions on the fabric's west/south edge,
+	// where the incoming boundary wires physically do not exist.
+	closedW, closedS bool
+
+	owner    []int32 // conductor -> net id, -1 free
+	reserved []bool  // endpoint conductors of the connection list
+	nets     int32
+	configs  []*arch.MacroConfig // per member, switch bits only
+
+	// Dijkstra scratch, epoch stamped.
+	epoch  int32
+	seenEp []int32
+	dist   []int32
+	par    []int32 // parent conductor
+	parEdg []edge
+	pq     condHeap
+}
+
+// NewRouter returns a fresh router for the region. closedW and closedS
+// mark fabric edges with no incoming west/south wires.
+func NewRouter(r Region, closedW, closedS bool) (*Router, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	g := graphFor(r)
+	n := r.NumConds()
+	rt := &Router{
+		g:        g,
+		closedW:  closedW,
+		closedS:  closedS,
+		owner:    make([]int32, n),
+		reserved: make([]bool, n),
+		configs:  make([]*arch.MacroConfig, r.Members()),
+		seenEp:   make([]int32, n),
+		dist:     make([]int32, n),
+		par:      make([]int32, n),
+		parEdg:   make([]edge, n),
+	}
+	for i := range rt.owner {
+		rt.owner[i] = -1
+	}
+	for i := range rt.configs {
+		rt.configs[i] = arch.NewMacroConfig(r.P)
+	}
+	return rt, nil
+}
+
+// Region returns the router's region shape.
+func (rt *Router) Region() Region { return rt.g.r }
+
+// Reset returns the router to the blank state for reuse.
+func (rt *Router) Reset() {
+	for i := range rt.owner {
+		rt.owner[i] = -1
+		rt.reserved[i] = false
+	}
+	rt.nets = 0
+	for _, c := range rt.configs {
+		c.Vec().Clear()
+	}
+}
+
+// Reserve marks an endpoint conductor of the connection list. Routing
+// through a reserved conductor is strongly penalized (it risks
+// swallowing a later connection's terminal), so the router only does
+// it when no cleaner path exists. The decoder reserves every endpoint
+// of the list before routing; since the full list is available before
+// decoding starts, this needs no extra information in the format.
+func (rt *Router) Reserve(code IOCode) error {
+	c, err := rt.g.r.CondForCode(code)
+	if err != nil {
+		return err
+	}
+	rt.reserved[c] = true
+	return nil
+}
+
+// usable reports whether a conductor may carry signal at all.
+func (rt *Router) usable(c int) bool {
+	r := rt.g.r
+	pm := r.perMember()
+	if c < r.Members()*pm {
+		return true
+	}
+	rest := c - r.Members()*pm
+	if rest < r.CH*r.P.W {
+		return !rt.closedW
+	}
+	return !rt.closedS
+}
+
+// RouteConnection realizes one (in, out) pair of the connection list.
+// If in already belongs to a routed net, the net is extended from its
+// whole tree; otherwise a new net starts at in. The chosen path claims
+// its conductors and turns on the corresponding switches.
+func (rt *Router) RouteConnection(in, out IOCode) error {
+	r := rt.g.r
+	a, err := r.CondForCode(in)
+	if err != nil {
+		return err
+	}
+	b, err := r.CondForCode(out)
+	if err != nil {
+		return err
+	}
+	if !rt.usable(a) || !rt.usable(b) {
+		return fmt.Errorf("devirt: endpoint on closed fabric edge (%d->%d)", in, out)
+	}
+	var net int32
+	switch {
+	case rt.owner[a] >= 0:
+		net = rt.owner[a]
+	default:
+		net = rt.nets
+		rt.nets++
+		rt.owner[a] = net
+	}
+	switch {
+	case rt.owner[b] == net:
+		return nil // already electrically connected
+	case rt.owner[b] >= 0:
+		return fmt.Errorf("devirt: endpoints %d and %d belong to different nets", in, out)
+	}
+	return rt.route(net, b)
+}
+
+// route runs deterministic Dijkstra from every conductor of net to the
+// target, through free conductors only.
+func (rt *Router) route(net int32, target int) error {
+	rt.epoch++
+	rt.pq.a = rt.pq.a[:0]
+	for c, o := range rt.owner {
+		if o != net {
+			continue
+		}
+		rt.seenEp[c] = rt.epoch
+		rt.dist[c] = 0
+		rt.par[c] = -1
+		heap.Push(&rt.pq, condDist{0, int32(c)})
+	}
+	for rt.pq.Len() > 0 {
+		cd := heap.Pop(&rt.pq).(condDist)
+		c := int(cd.cond)
+		if c == target {
+			rt.commit(net, target)
+			return nil
+		}
+		if cd.dist > rt.dist[c] {
+			continue // stale entry
+		}
+		for _, e := range rt.g.adj[c] {
+			to := int(e.to)
+			if to != target {
+				if rt.owner[to] != -1 {
+					continue // claimed by some net (even ours: tree conductors are seeds)
+				}
+				if rt.g.class[to] == classOutputPin {
+					continue // output pins are driven by their LB
+				}
+				if !rt.usable(to) {
+					continue
+				}
+			}
+			d := rt.dist[c] + rt.condCost(to)
+			if rt.seenEp[to] == rt.epoch && d >= rt.dist[to] {
+				continue
+			}
+			rt.seenEp[to] = rt.epoch
+			rt.dist[to] = d
+			rt.par[to] = int32(c)
+			rt.parEdg[to] = e
+			heap.Push(&rt.pq, condDist{d, int32(to)})
+		}
+	}
+	return fmt.Errorf("devirt: no path to conductor %d for net %d", target, net)
+}
+
+func (rt *Router) condCost(c int) int32 {
+	var base int32
+	switch rt.g.class[c] {
+	case classBoundaryWire:
+		base = costBoundary
+	case classInputPin, classOutputPin:
+		base = costInputPin
+	default:
+		base = costInternal
+	}
+	if rt.reserved[c] {
+		base += costReserved
+	}
+	return base
+}
+
+// commit claims the found path and drives its switches.
+func (rt *Router) commit(net int32, target int) {
+	c := target
+	for c != -1 && rt.owner[c] != net {
+		rt.owner[c] = net
+		e := rt.parEdg[c]
+		rt.configs[e.member].SetSwitch(int(e.sw), true)
+		c = int(rt.par[c])
+	}
+}
+
+// Owner returns the net id claiming an I/O code's conductor, or -1.
+func (rt *Router) Owner(code IOCode) (int, error) {
+	c, err := rt.g.r.CondForCode(code)
+	if err != nil {
+		return 0, err
+	}
+	return int(rt.owner[c]), nil
+}
+
+// Configs returns the decoded per-member configurations (switch bits
+// only; logic data is merged separately). Member (i, j) is at index
+// j*CW+i. The returned configurations are the router's own state.
+func (rt *Router) Configs() []*arch.MacroConfig { return rt.configs }
+
+// condDist orders the Dijkstra frontier by distance, then conductor
+// index, which makes the search fully deterministic.
+type condDist struct {
+	dist int32
+	cond int32
+}
+
+type condHeap struct{ a []condDist }
+
+func (h *condHeap) Len() int { return len(h.a) }
+func (h *condHeap) Less(i, j int) bool {
+	if h.a[i].dist != h.a[j].dist {
+		return h.a[i].dist < h.a[j].dist
+	}
+	return h.a[i].cond < h.a[j].cond
+}
+func (h *condHeap) Swap(i, j int)      { h.a[i], h.a[j] = h.a[j], h.a[i] }
+func (h *condHeap) Push(x interface{}) { h.a = append(h.a, x.(condDist)) }
+func (h *condHeap) Pop() interface{} {
+	last := len(h.a) - 1
+	v := h.a[last]
+	h.a = h.a[:last]
+	return v
+}

@@ -1,0 +1,207 @@
+// Package fabric simulates the reconfigurable fabric's configuration
+// layer: the memory plane that raw bitstreams are written into, with
+// rectangular region accounting for dynamic partial reconfiguration
+// (which tasks own which macros) and seam analysis for wires shared
+// across task boundaries.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+)
+
+// TaskID identifies a loaded hardware task.
+type TaskID int
+
+// NoTask marks unowned fabric.
+const NoTask TaskID = -1
+
+// Fabric is one reconfigurable device.
+type Fabric struct {
+	p     arch.Params
+	g     arch.Grid
+	raw   *bitstream.Raw
+	owner []TaskID
+}
+
+// New returns a blank fabric.
+func New(p arch.Params, g arch.Grid) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{p: p, g: g, raw: bitstream.New(p, g), owner: make([]TaskID, g.NumMacros())}
+	for i := range f.owner {
+		f.owner[i] = NoTask
+	}
+	return f, nil
+}
+
+// Params returns the fabric's architecture.
+func (f *Fabric) Params() arch.Params { return f.p }
+
+// Grid returns the fabric's dimensions.
+func (f *Fabric) Grid() arch.Grid { return f.g }
+
+// Config exposes the live configuration plane. Mutating it directly
+// bypasses ownership accounting; loaders should use Allocate first.
+func (f *Fabric) Config() *bitstream.Raw { return f.raw }
+
+// OwnerAt returns the task owning macro (x, y).
+func (f *Fabric) OwnerAt(x, y int) TaskID {
+	if !f.g.Contains(x, y) {
+		return NoTask
+	}
+	return f.owner[f.g.Index(x, y)]
+}
+
+// rectCheck validates a rectangle against the grid.
+func (f *Fabric) rectCheck(x0, y0, w, h int) error {
+	if w < 1 || h < 1 || x0 < 0 || y0 < 0 || x0+w > f.g.Width || y0+h > f.g.Height {
+		return fmt.Errorf("fabric: rect %dx%d at (%d,%d) outside %dx%d fabric",
+			w, h, x0, y0, f.g.Width, f.g.Height)
+	}
+	return nil
+}
+
+// Allocate reserves a free rectangle for a task.
+func (f *Fabric) Allocate(id TaskID, x0, y0, w, h int) error {
+	if id < 0 {
+		return fmt.Errorf("fabric: invalid task id %d", id)
+	}
+	if err := f.rectCheck(x0, y0, w, h); err != nil {
+		return err
+	}
+	for x := x0; x < x0+w; x++ {
+		for y := y0; y < y0+h; y++ {
+			if o := f.owner[f.g.Index(x, y)]; o != NoTask {
+				return fmt.Errorf("fabric: macro (%d,%d) owned by task %d", x, y, o)
+			}
+		}
+	}
+	for x := x0; x < x0+w; x++ {
+		for y := y0; y < y0+h; y++ {
+			f.owner[f.g.Index(x, y)] = id
+		}
+	}
+	return nil
+}
+
+// Release clears ownership and configuration of every macro owned by
+// the task and returns how many macros were freed.
+func (f *Fabric) Release(id TaskID) int {
+	n := 0
+	for i, o := range f.owner {
+		if o != id {
+			continue
+		}
+		f.owner[i] = NoTask
+		f.raw.Configs[i].Vec().Clear()
+		n++
+	}
+	return n
+}
+
+// FindSlot scans row-major for the first free w×h rectangle, returning
+// its origin or ok=false.
+func (f *Fabric) FindSlot(w, h int) (x0, y0 int, ok bool) {
+	if w > f.g.Width || h > f.g.Height {
+		return 0, 0, false
+	}
+	for y := 0; y+h <= f.g.Height; y++ {
+		for x := 0; x+w <= f.g.Width; x++ {
+			if f.rectFree(x, y, w, h) {
+				return x, y, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (f *Fabric) rectFree(x0, y0, w, h int) bool {
+	for x := x0; x < x0+w; x++ {
+		for y := y0; y < y0+h; y++ {
+			if f.owner[f.g.Index(x, y)] != NoTask {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FreeMacros returns the number of unowned macros.
+func (f *Fabric) FreeMacros() int {
+	n := 0
+	for _, o := range f.owner {
+		if o == NoTask {
+			n++
+		}
+	}
+	return n
+}
+
+// condUsed reports whether the configuration of macro (x, y) has any
+// on switch touching local conductor c.
+func (f *Fabric) condUsed(x, y int, c arch.Cond) bool {
+	cfg := f.raw.At(x, y)
+	for _, nb := range f.p.Adjacency(c) {
+		if cfg.SwitchOn(nb.Switch) {
+			return true
+		}
+	}
+	return false
+}
+
+// SeamConflicts inspects the wires crossing the rectangle's boundary
+// and returns a description of each wire driven from both sides by
+// different owners. Channel wires physically extend one macro past a
+// task edge, so two abutting tasks can contend for the same wire; the
+// runtime manager calls this after writing a task's configuration.
+func (f *Fabric) SeamConflicts(x0, y0, w, h int) []string {
+	var out []string
+	id := func(x, y int) TaskID { return f.OwnerAt(x, y) }
+	// East seam: wires HW(x0+w-1, y, t) reach into column x0+w.
+	for y := y0; y < y0+h; y++ {
+		for t := 0; t < f.p.W; t++ {
+			f.seamCheck(&out, x0+w-1, y, f.p.CondHW(t), x0+w, y, f.p.CondInW(t), id)
+		}
+	}
+	// West seam: wires HW(x0-1, y, t) reach into column x0.
+	for y := y0; y < y0+h; y++ {
+		for t := 0; t < f.p.W; t++ {
+			f.seamCheck(&out, x0, y, f.p.CondInW(t), x0-1, y, f.p.CondHW(t), id)
+		}
+	}
+	// North seam.
+	for x := x0; x < x0+w; x++ {
+		for t := 0; t < f.p.W; t++ {
+			f.seamCheck(&out, x, y0+h-1, f.p.CondVW(t), x, y0+h, f.p.CondInS(t), id)
+		}
+	}
+	// South seam.
+	for x := x0; x < x0+w; x++ {
+		for t := 0; t < f.p.W; t++ {
+			f.seamCheck(&out, x, y0, f.p.CondInS(t), x, y0-1, f.p.CondVW(t), id)
+		}
+	}
+	return out
+}
+
+func (f *Fabric) seamCheck(out *[]string, ax, ay int, ac arch.Cond, bx, by int, bc arch.Cond, id func(int, int) TaskID) {
+	if !f.g.Contains(ax, ay) || !f.g.Contains(bx, by) {
+		return
+	}
+	ida, idb := id(ax, ay), id(bx, by)
+	if ida == idb {
+		return
+	}
+	if f.condUsed(ax, ay, ac) && f.condUsed(bx, by, bc) {
+		*out = append(*out, fmt.Sprintf(
+			"wire %s of macro (%d,%d) contended by tasks %d and %d",
+			f.p.CondName(ac), ax, ay, ida, idb))
+	}
+}

@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func newFabric(t *testing.T) *Fabric {
+	t.Helper()
+	f, err := New(arch.PaperExample(), arch.Grid{Width: 8, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(arch.Params{}, arch.Grid{Width: 2, Height: 2}); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := New(arch.PaperExample(), arch.Grid{}); err == nil {
+		t.Error("bad grid accepted")
+	}
+}
+
+func TestAllocateReleaseCycle(t *testing.T) {
+	f := newFabric(t)
+	if f.FreeMacros() != 64 {
+		t.Fatalf("FreeMacros = %d", f.FreeMacros())
+	}
+	if err := f.Allocate(1, 1, 1, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if f.FreeMacros() != 64-9 {
+		t.Errorf("FreeMacros = %d after alloc", f.FreeMacros())
+	}
+	if f.OwnerAt(2, 2) != 1 || f.OwnerAt(0, 0) != NoTask {
+		t.Error("ownership wrong")
+	}
+	// Overlap rejected.
+	if err := f.Allocate(2, 3, 3, 2, 2); err == nil {
+		t.Error("overlapping allocation accepted")
+	}
+	// Disjoint fine.
+	if err := f.Allocate(2, 4, 4, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Release(1); n != 9 {
+		t.Errorf("released %d macros, want 9", n)
+	}
+	if f.OwnerAt(2, 2) != NoTask {
+		t.Error("release did not clear ownership")
+	}
+}
+
+func TestReleaseClearsConfiguration(t *testing.T) {
+	f := newFabric(t)
+	if err := f.Allocate(1, 0, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	f.Config().At(1, 1).SetSwitch(0, true)
+	f.Release(1)
+	if f.Config().At(1, 1).Vec().OnesCount() != 0 {
+		t.Error("release left configuration bits")
+	}
+}
+
+func TestAllocateBounds(t *testing.T) {
+	f := newFabric(t)
+	cases := [][4]int{{-1, 0, 2, 2}, {0, -1, 2, 2}, {7, 0, 2, 2}, {0, 7, 1, 2}, {0, 0, 0, 1}, {0, 0, 9, 1}}
+	for _, c := range cases {
+		if err := f.Allocate(1, c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("rect %v accepted", c)
+		}
+	}
+	if err := f.Allocate(NoTask, 0, 0, 1, 1); err == nil {
+		t.Error("NoTask id accepted")
+	}
+}
+
+func TestFindSlot(t *testing.T) {
+	f := newFabric(t)
+	x, y, ok := f.FindSlot(3, 3)
+	if !ok || x != 0 || y != 0 {
+		t.Fatalf("first slot = (%d,%d,%v)", x, y, ok)
+	}
+	if err := f.Allocate(1, 0, 0, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	x, y, ok = f.FindSlot(3, 3)
+	if !ok || y != 4 {
+		t.Errorf("slot after blocking rows = (%d,%d,%v)", x, y, ok)
+	}
+	if _, _, ok = f.FindSlot(9, 1); ok {
+		t.Error("oversized slot found")
+	}
+	if err := f.Allocate(2, 0, 4, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok = f.FindSlot(1, 1); ok {
+		t.Error("slot found on full fabric")
+	}
+}
+
+// TestSeamConflicts: two abutting tasks driving the same boundary wire
+// must be reported; independent wires must not.
+func TestSeamConflicts(t *testing.T) {
+	f := newFabric(t)
+	p := f.Params()
+	if err := f.Allocate(1, 0, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Allocate(2, 2, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1's east column macro (1,0): drive HW(3) via the SB pair
+	// (InS, HW)... use pin junction instead to avoid needing InS.
+	cfgA := f.Config().At(1, 0)
+	swA := p.SwitchBetween(p.CondPin(1), p.CondHW(3))
+	cfgA.SetSwitch(swA, true)
+	// No conflict yet: task 2 does not touch its InW(3).
+	if cs := f.SeamConflicts(0, 0, 2, 2); len(cs) != 0 {
+		t.Fatalf("unexpected conflicts: %v", cs)
+	}
+	// Task 2's west column macro (2,0): connect InW(3) to its HW(3).
+	cfgB := f.Config().At(2, 0)
+	swB := p.SwitchBetween(p.CondInW(3), p.CondHW(3))
+	cfgB.SetSwitch(swB, true)
+	cs := f.SeamConflicts(0, 0, 2, 2)
+	if len(cs) != 1 {
+		t.Fatalf("conflicts = %v, want 1", cs)
+	}
+	if !strings.Contains(cs[0], "tasks 1 and 2") {
+		t.Errorf("conflict message %q", cs[0])
+	}
+	// The same check seen from task 2's rectangle (west seam).
+	cs = f.SeamConflicts(2, 0, 2, 2)
+	if len(cs) != 1 {
+		t.Errorf("west seam conflicts = %v", cs)
+	}
+}
+
+func TestSeamNoConflictSameTask(t *testing.T) {
+	f := newFabric(t)
+	p := f.Params()
+	if err := f.Allocate(1, 0, 0, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Wire used across an internal boundary of one task: no conflict.
+	f.Config().At(1, 0).SetSwitch(p.SwitchBetween(p.CondPin(1), p.CondHW(3)), true)
+	f.Config().At(2, 0).SetSwitch(p.SwitchBetween(p.CondInW(3), p.CondHW(3)), true)
+	if cs := f.SeamConflicts(0, 0, 2, 2); len(cs) != 0 {
+		t.Errorf("conflicts within one task: %v", cs)
+	}
+}
+
+func TestSeamVertical(t *testing.T) {
+	f := newFabric(t)
+	p := f.Params()
+	if err := f.Allocate(1, 0, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Allocate(2, 0, 2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 drives VW(4) of macro (0,1); task 2 connects InS(4) at (0,2).
+	f.Config().At(0, 1).SetSwitch(p.SwitchBetween(p.CondPin(5), p.CondVW(4)), true)
+	f.Config().At(0, 2).SetSwitch(p.SwitchBetween(p.CondInS(4), p.CondVW(4)), true)
+	if cs := f.SeamConflicts(0, 0, 2, 2); len(cs) != 1 {
+		t.Errorf("north seam conflicts = %v", cs)
+	}
+	if cs := f.SeamConflicts(0, 2, 2, 2); len(cs) != 1 {
+		t.Errorf("south seam conflicts = %v", cs)
+	}
+}

@@ -1,0 +1,213 @@
+// Package fabricsim evaluates a configured fabric at the gate level:
+// it reads a raw configuration (however it was produced — directly
+// from the router or through a Virtual Bit-Stream), reconstructs the
+// electrical nets from the switch states, and simulates the LUTs and
+// flip-flops cycle by cycle. It is the strongest end-to-end oracle in
+// the repository: a task is correct iff the simulated fabric behaves
+// exactly like the packed netlist it was compiled from.
+package fabricsim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/rrg"
+	"repro/internal/unionfind"
+)
+
+// Pad binds an external signal name to the fabric macro holding its
+// I/O pad.
+type Pad struct {
+	Name string
+	X, Y int
+}
+
+// Simulator evaluates one configured fabric.
+type Simulator struct {
+	p   arch.Params
+	g   arch.Grid
+	gr  *rrg.Graph
+	uf  *unionfind.UF
+	ins []Pad
+	out []Pad
+
+	luts  []lutInst
+	order []int // evaluation order (combinational topological)
+
+	// value[root] is the current signal on an electrical component.
+	value map[int]bool
+	ff    []bool // per LUT state
+}
+
+// lutInst is one logic block instance read out of the configuration.
+type lutInst struct {
+	x, y       int
+	truth      []bool // 2^K bits
+	registered bool
+	inComp     []int // component root per LUT input (-1 unconnected)
+	outComp    int
+}
+
+// New builds a simulator from a configuration. The caller names the
+// input and output pads (the configuration itself stores pad
+// behaviour implicitly by position). Every macro whose logic bits are
+// non-zero — and every macro listed as a pad — participates.
+func New(raw *bitstream.Raw, inputs, outputs []Pad) (*Simulator, error) {
+	gr, err := rrg.Build(raw.P, raw.G)
+	if err != nil {
+		return nil, err
+	}
+	uf, err := bitstream.Connectivity(raw, gr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		p: raw.P, g: raw.G, gr: gr, uf: uf,
+		ins: inputs, out: outputs,
+		value: make(map[int]bool),
+	}
+	for _, pad := range append(append([]Pad{}, inputs...), outputs...) {
+		if !raw.G.Contains(pad.X, pad.Y) {
+			return nil, fmt.Errorf("fabricsim: pad %q at (%d,%d) off fabric", pad.Name, pad.X, pad.Y)
+		}
+	}
+
+	// Instantiate every macro with non-zero logic as a LUT.
+	k := raw.P.K
+	nlb := raw.P.NLB()
+	padAt := make(map[[2]int]bool)
+	for _, pad := range append(append([]Pad{}, inputs...), outputs...) {
+		padAt[[2]int{pad.X, pad.Y}] = true
+	}
+	for y := 0; y < raw.G.Height; y++ {
+		for x := 0; x < raw.G.Width; x++ {
+			cfg := raw.At(x, y)
+			logic := cfg.Logic()
+			if logic.OnesCount() == 0 || padAt[[2]int{x, y}] {
+				continue
+			}
+			inst := lutInst{
+				x: x, y: y,
+				truth:      make([]bool, 1<<uint(k)),
+				registered: logic.Get(nlb - 1),
+				inComp:     make([]int, k),
+				outComp:    s.comp(gr.NodePin(x, y, raw.P.OutputPin())),
+			}
+			for i := 0; i < 1<<uint(k); i++ {
+				inst.truth[i] = logic.Get(i)
+			}
+			for i := 0; i < k; i++ {
+				pin := gr.NodePin(x, y, raw.P.InputPin(i))
+				root := s.comp(pin)
+				if uf.SetSize(int(pin)) == 1 {
+					root = -1 // unconnected input reads as 0
+				}
+				inst.inComp[i] = root
+			}
+			s.luts = append(s.luts, inst)
+		}
+	}
+	s.ff = make([]bool, len(s.luts))
+	if err := s.buildOrder(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Simulator) comp(n rrg.NodeID) int { return s.uf.Find(int(n)) }
+
+// buildOrder topologically sorts the unregistered LUTs along
+// combinational dependencies.
+func (s *Simulator) buildOrder() error {
+	producer := make(map[int]int) // component -> LUT index (combinational only)
+	for i := range s.luts {
+		if !s.luts[i].registered {
+			producer[s.luts[i].outComp] = i
+		}
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	mark := make([]int, len(s.luts))
+	var visit func(int) error
+	visit = func(i int) error {
+		switch mark[i] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("fabricsim: combinational loop through LUT at (%d,%d)", s.luts[i].x, s.luts[i].y)
+		}
+		mark[i] = visiting
+		for _, c := range s.luts[i].inComp {
+			if j, ok := producer[c]; ok && c != -1 {
+				if err := visit(j); err != nil {
+					return err
+				}
+			}
+		}
+		mark[i] = done
+		s.order = append(s.order, i)
+		return nil
+	}
+	for i := range s.luts {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumLUTs returns the number of active logic blocks found in the
+// configuration.
+func (s *Simulator) NumLUTs() int { return len(s.luts) }
+
+// Step applies one clock cycle: inputs drive their pad components,
+// combinational logic settles, outputs are sampled, flip-flops
+// capture. Semantics match netlist.DesignSimulator exactly.
+func (s *Simulator) Step(inputs map[string]bool) map[string]bool {
+	for k := range s.value {
+		delete(s.value, k)
+	}
+	// Drive input pads (pad output pin 0 drives its component).
+	for _, pad := range s.ins {
+		root := s.comp(s.gr.NodePin(pad.X, pad.Y, s.p.OutputPin()))
+		s.value[root] = inputs[pad.Name]
+	}
+	// Registered LUTs present their state.
+	for i := range s.luts {
+		if s.luts[i].registered {
+			s.value[s.luts[i].outComp] = s.ff[i]
+		}
+	}
+	// Combinational settle; registered LUTs compute next-state last.
+	lutOut := make([]bool, len(s.luts))
+	for _, i := range s.order {
+		inst := &s.luts[i]
+		combo := 0
+		for bit, c := range inst.inComp {
+			if c != -1 && s.value[c] {
+				combo |= 1 << uint(bit)
+			}
+		}
+		lutOut[i] = inst.truth[combo]
+		if !inst.registered {
+			s.value[inst.outComp] = lutOut[i]
+		}
+	}
+	// Sample output pads (pad input pin 1 reads its component).
+	out := make(map[string]bool, len(s.out))
+	for _, pad := range s.out {
+		root := s.comp(s.gr.NodePin(pad.X, pad.Y, s.p.InputPin(0)))
+		out[pad.Name] = s.value[root]
+	}
+	// Clock edge.
+	for i := range s.luts {
+		if s.luts[i].registered {
+			s.ff[i] = lutOut[i]
+		}
+	}
+	return out
+}

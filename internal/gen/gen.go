@@ -1,0 +1,175 @@
+// Package gen synthesizes random-but-realistic packed circuits. The
+// paper evaluates on the 20 largest MCNC benchmarks, which are not
+// redistributable here; gen produces deterministic synthetic twins
+// with controlled logic-block count, I/O count, fan-in, register
+// fraction and wiring locality (a Rent's-rule-style recency bias), so
+// that routed channel occupancy — the quantity VBS compression depends
+// on — falls in the same regime. Package mcnc holds the per-benchmark
+// calibrations.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/netlist"
+)
+
+// Params controls circuit synthesis. All fields must be set (no
+// defaults) so profiles are explicit about their workload.
+type Params struct {
+	// Name labels the design.
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// LBs is the number of logic blocks.
+	LBs int
+	// Inputs and Outputs are the primary I/O pad counts.
+	Inputs, Outputs int
+	// K is the LUT size.
+	K int
+	// AvgFanin is the mean number of used LUT inputs (1..K).
+	AvgFanin float64
+	// Locality is the probability that a LUT input comes from the
+	// recent-net window rather than anywhere in the circuit; higher
+	// values give more routable, lower-Rent circuits.
+	Locality float64
+	// Window is the recency window size in nets.
+	Window int
+	// RegFrac is the fraction of logic blocks with registered outputs.
+	RegFrac float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.LBs < 1 {
+		return fmt.Errorf("gen: LBs=%d", p.LBs)
+	}
+	if p.Inputs < 1 || p.Outputs < 1 {
+		return fmt.Errorf("gen: need at least one input and one output")
+	}
+	if p.K < 2 || p.K > 16 {
+		return fmt.Errorf("gen: K=%d", p.K)
+	}
+	if p.AvgFanin < 1 || p.AvgFanin > float64(p.K) {
+		return fmt.Errorf("gen: AvgFanin=%.2f outside [1,%d]", p.AvgFanin, p.K)
+	}
+	if p.Locality < 0 || p.Locality > 1 {
+		return fmt.Errorf("gen: Locality=%.2f", p.Locality)
+	}
+	if p.Window < 1 {
+		return fmt.Errorf("gen: Window=%d", p.Window)
+	}
+	if p.RegFrac < 0 || p.RegFrac > 1 {
+		return fmt.Errorf("gen: RegFrac=%.2f", p.RegFrac)
+	}
+	return nil
+}
+
+// Generate builds the synthetic design. The same Params always yield
+// the same design.
+func Generate(p Params) (*netlist.Design, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	d := &netlist.Design{Name: p.Name, K: p.K}
+
+	nets := make([]netlist.NetID, 0, p.Inputs+p.LBs)
+	for i := 0; i < p.Inputs; i++ {
+		_, n := d.AddInputPad(fmt.Sprintf("pi%d", i))
+		nets = append(nets, n)
+	}
+
+	// pickSource selects a driver net with recency bias.
+	pickSource := func() netlist.NetID {
+		if rng.Float64() < p.Locality && len(nets) > 1 {
+			w := p.Window
+			if w > len(nets) {
+				w = len(nets)
+			}
+			// Geometric preference for the freshest nets within the
+			// window, giving the short-fanout-dominated distribution of
+			// real circuits.
+			off := 0
+			for off < w-1 && rng.Float64() < 0.55 {
+				off++
+			}
+			return nets[len(nets)-1-off]
+		}
+		return nets[rng.Intn(len(nets))]
+	}
+
+	for i := 0; i < p.LBs; i++ {
+		nin := faninSample(rng, p.AvgFanin, p.K)
+		ins := make([]netlist.NetID, 0, nin)
+		for j := 0; j < nin; j++ {
+			src := pickSource()
+			dup := false
+			for _, e := range ins {
+				if e == src {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				j--
+				if len(nets) <= nin { // tiny circuits: allow fewer inputs
+					break
+				}
+				continue
+			}
+			ins = append(ins, src)
+		}
+		truth := bits.NewVec(1 << uint(p.K))
+		for b := 0; b < truth.Len(); b++ {
+			truth.Set(b, rng.Intn(2) == 0)
+		}
+		_, n := d.AddLogicBlock(fmt.Sprintf("lb%d", i), ins, truth, rng.Float64() < p.RegFrac)
+		nets = append(nets, n)
+	}
+
+	// Outputs sample from the most recent nets so the output cone is
+	// non-trivial.
+	for i := 0; i < p.Outputs; i++ {
+		pick := nets[len(nets)-1-rng.Intn(minInt(len(nets), 4*p.Outputs))]
+		d.AddOutputPad(fmt.Sprintf("po%d", i), pick)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: produced invalid design: %w", err)
+	}
+	return d, nil
+}
+
+// faninSample draws a LUT input count with the given mean: the
+// bulk of blocks use round(mean)±1 inputs, clamped to [1, k].
+func faninSample(rng *rand.Rand, mean float64, k int) int {
+	base := int(mean)
+	frac := mean - float64(base)
+	n := base
+	if rng.Float64() < frac {
+		n++
+	}
+	// Spread: ±1 with probability 0.25 each.
+	switch r := rng.Float64(); {
+	case r < 0.25:
+		n--
+	case r > 0.75:
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > k {
+		n = k
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

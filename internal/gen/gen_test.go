@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func base() Params {
+	return Params{
+		Name: "t", Seed: 1, LBs: 200, Inputs: 12, Outputs: 10, K: 6,
+		AvgFanin: 4.0, Locality: 0.85, Window: 64, RegFrac: 0.2,
+	}
+}
+
+func TestGenerateValidDesign(t *testing.T) {
+	d, err := Generate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.LogicBlocks != 200 || s.InputPads != 12 || s.OutputPads != 10 {
+		t.Errorf("counts: %+v", s)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blocks) != len(b.Blocks) || len(a.Nets) != len(b.Nets) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Blocks {
+		if len(a.Blocks[i].Inputs) != len(b.Blocks[i].Inputs) {
+			t.Fatalf("block %d fanin differs", i)
+		}
+		for j := range a.Blocks[i].Inputs {
+			if a.Blocks[i].Inputs[j] != b.Blocks[i].Inputs[j] {
+				t.Fatalf("block %d input %d differs", i, j)
+			}
+		}
+		if a.Blocks[i].Kind == netlist.LogicBlock && !a.Blocks[i].Truth.Equal(b.Blocks[i].Truth) {
+			t.Fatalf("block %d truth differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p := base()
+	a, _ := Generate(p)
+	p.Seed = 2
+	b, _ := Generate(p)
+	same := true
+	for i := range a.Blocks {
+		if a.Blocks[i].Kind != netlist.LogicBlock {
+			continue
+		}
+		if len(a.Blocks[i].Inputs) != len(b.Blocks[i].Inputs) {
+			same = false
+			break
+		}
+		for j := range a.Blocks[i].Inputs {
+			if a.Blocks[i].Inputs[j] != b.Blocks[i].Inputs[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical connectivity")
+	}
+}
+
+func TestGenerateFaninNearMean(t *testing.T) {
+	p := base()
+	p.LBs = 2000
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, n := 0, 0
+	for _, b := range d.Blocks {
+		if b.Kind == netlist.LogicBlock {
+			total += len(b.Inputs)
+			n++
+		}
+	}
+	mean := float64(total) / float64(n)
+	if mean < 3.4 || mean > 4.6 {
+		t.Errorf("mean fanin %.2f, want near 4.0", mean)
+	}
+}
+
+func TestGenerateRegFrac(t *testing.T) {
+	p := base()
+	p.LBs = 2000
+	p.RegFrac = 0.3
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	frac := float64(s.Registered) / float64(s.LogicBlocks)
+	if frac < 0.24 || frac > 0.36 {
+		t.Errorf("registered fraction %.2f, want near 0.30", frac)
+	}
+}
+
+func TestGenerateLocalityShortensNets(t *testing.T) {
+	// Higher locality must raise the fraction of low-fanout nets being
+	// consumed close to their producers; proxy: average index distance
+	// between producer and consumer block.
+	dist := func(locality float64) float64 {
+		p := base()
+		p.LBs = 1500
+		p.Locality = locality
+		d, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, n := 0, 0
+		for bi, b := range d.Blocks {
+			if b.Kind != netlist.LogicBlock {
+				continue
+			}
+			for _, in := range b.Inputs {
+				if in == netlist.NoNet {
+					continue
+				}
+				drv := int(d.Nets[in].Driver)
+				if drv < bi {
+					total += bi - drv
+					n++
+				}
+			}
+		}
+		return float64(total) / float64(n)
+	}
+	local, global := dist(0.95), dist(0.1)
+	if local >= global {
+		t.Errorf("locality 0.95 gives distance %.1f >= locality 0.1 distance %.1f", local, global)
+	}
+}
+
+func TestGenerateNoDuplicateInputs(t *testing.T) {
+	d, err := Generate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range d.Blocks {
+		seen := map[netlist.NetID]bool{}
+		for _, in := range b.Inputs {
+			if in == netlist.NoNet {
+				continue
+			}
+			if seen[in] {
+				t.Fatalf("block %d has duplicate input net %d", bi, in)
+			}
+			seen[in] = true
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.LBs = 0 },
+		func(p *Params) { p.Inputs = 0 },
+		func(p *Params) { p.Outputs = 0 },
+		func(p *Params) { p.K = 1 },
+		func(p *Params) { p.AvgFanin = 0.5 },
+		func(p *Params) { p.AvgFanin = 9 },
+		func(p *Params) { p.Locality = 1.5 },
+		func(p *Params) { p.Window = 0 },
+		func(p *Params) { p.RegFrac = -0.1 },
+	}
+	for i, corrupt := range cases {
+		p := base()
+		corrupt(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}

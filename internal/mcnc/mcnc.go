@@ -1,0 +1,171 @@
+// Package mcnc carries the benchmark set of the paper's Table II: the
+// 20 largest MCNC circuits, with their published grid sizes, minimum
+// channel widths and logic-block counts, plus calibrated synthetic
+// generation (package gen) standing in for the original netlists,
+// which are not redistributable. I/O counts follow the MCNC suite,
+// scaled down where the one-pad-per-perimeter-macro floorplan cannot
+// hold them (documented in DESIGN.md; pad count has negligible effect
+// on routing density and therefore on compression).
+package mcnc
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// Profile is one Table II row plus generation calibration.
+type Profile struct {
+	// Name is the MCNC circuit name.
+	Name string
+	// Size is the logic grid side from Table II.
+	Size int
+	// MCW is the paper's reported minimum channel width.
+	MCW int
+	// LBs is the paper's logic block count.
+	LBs int
+	// Inputs, Outputs are the MCNC primary I/O counts (pre-scaling).
+	Inputs, Outputs int
+	// Seq marks sequential circuits (latches present).
+	Seq bool
+}
+
+// Profiles lists Table II in the paper's order.
+var Profiles = []Profile{
+	{Name: "alu4", Size: 35, MCW: 9, LBs: 1173, Inputs: 14, Outputs: 8},
+	{Name: "apex2", Size: 39, MCW: 12, LBs: 1478, Inputs: 38, Outputs: 3},
+	{Name: "apex4", Size: 32, MCW: 15, LBs: 970, Inputs: 9, Outputs: 19},
+	{Name: "bigkey", Size: 27, MCW: 8, LBs: 683, Inputs: 229, Outputs: 197, Seq: true},
+	{Name: "clma", Size: 79, MCW: 15, LBs: 6226, Inputs: 62, Outputs: 82, Seq: true},
+	{Name: "des", Size: 32, MCW: 8, LBs: 554, Inputs: 256, Outputs: 245},
+	{Name: "diffeq", Size: 30, MCW: 10, LBs: 869, Inputs: 64, Outputs: 39, Seq: true},
+	{Name: "dsip", Size: 27, MCW: 9, LBs: 680, Inputs: 229, Outputs: 197, Seq: true},
+	{Name: "elliptic", Size: 47, MCW: 13, LBs: 2134, Inputs: 131, Outputs: 114, Seq: true},
+	{Name: "ex1010", Size: 56, MCW: 16, LBs: 3093, Inputs: 10, Outputs: 10},
+	{Name: "ex5p", Size: 28, MCW: 13, LBs: 740, Inputs: 8, Outputs: 63},
+	{Name: "frisc", Size: 55, MCW: 16, LBs: 2940, Inputs: 20, Outputs: 116, Seq: true},
+	{Name: "misex3", Size: 35, MCW: 11, LBs: 1158, Inputs: 14, Outputs: 14},
+	{Name: "pdc", Size: 61, MCW: 15, LBs: 3629, Inputs: 16, Outputs: 40},
+	{Name: "s298", Size: 37, MCW: 8, LBs: 1301, Inputs: 4, Outputs: 6, Seq: true},
+	{Name: "s38417", Size: 58, MCW: 8, LBs: 3333, Inputs: 29, Outputs: 106, Seq: true},
+	{Name: "s38584.1", Size: 65, MCW: 9, LBs: 4219, Inputs: 38, Outputs: 304, Seq: true},
+	{Name: "seq", Size: 37, MCW: 12, LBs: 1325, Inputs: 41, Outputs: 35},
+	{Name: "spla", Size: 55, MCW: 14, LBs: 3005, Inputs: 16, Outputs: 46},
+	{Name: "tseng", Size: 29, MCW: 8, LBs: 799, Inputs: 52, Outputs: 122, Seq: true},
+}
+
+// ByName returns the profile for an MCNC circuit name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("mcnc: unknown benchmark %q", name)
+}
+
+// Grid returns the fabric for this benchmark: the Size×Size logic
+// region plus the I/O ring.
+func (p Profile) Grid() arch.Grid { return arch.GridForSize(p.Size) }
+
+// ScaledIO returns the pad counts after scaling to the perimeter
+// capacity of the grid (one pad per ring macro, with a small margin).
+func (p Profile) ScaledIO() (in, out int) {
+	in, out = p.Inputs, p.Outputs
+	capacity := p.Grid().NumPerimeter() - 8
+	total := in + out
+	if total > capacity {
+		in = in * capacity / total
+		out = out * capacity / total
+		if in < 1 {
+			in = 1
+		}
+		if out < 1 {
+			out = 1
+		}
+	}
+	return in, out
+}
+
+// Scale returns a copy of the profile shrunk by factor f (>= 1): LB
+// count divided by f², grid side by f. Used for quick experiment modes
+// where full Table II sizes would take too long.
+func (p Profile) Scale(f int) Profile {
+	if f <= 1 {
+		return p
+	}
+	s := p
+	s.Name = fmt.Sprintf("%s/%d", p.Name, f)
+	s.LBs = p.LBs / (f * f)
+	if s.LBs < 16 {
+		s.LBs = 16
+	}
+	s.Size = isqrtCeil(s.LBs)
+	if p.Size/f > s.Size {
+		s.Size = p.Size / f
+	}
+	s.Inputs = maxInt(2, p.Inputs/f)
+	s.Outputs = maxInt(2, p.Outputs/f)
+	return s
+}
+
+// GenParams returns the calibrated generator parameters for this
+// profile at LUT size k.
+func (p Profile) GenParams(k int) gen.Params {
+	in, out := p.ScaledIO()
+	reg := 0.0
+	if p.Seq {
+		reg = 0.3
+	}
+	return gen.Params{
+		Name:    p.Name,
+		Seed:    seedFor(p.Name),
+		LBs:     p.LBs,
+		Inputs:  in,
+		Outputs: out,
+		K:       k,
+		// Calibration: packed 6-LUT MCNC circuits average ~4 used
+		// inputs per LUT; the locality/window pair is tuned so minimum
+		// channel widths land in Table II's 8-16 band on this
+		// architecture.
+		AvgFanin: 4.0,
+		Locality: 0.85,
+		Window:   64,
+		RegFrac:  reg,
+	}
+}
+
+// Design generates the synthetic twin of this benchmark.
+func (p Profile) Design(k int) (*netlist.Design, error) {
+	return gen.Generate(p.GenParams(k))
+}
+
+// seedFor derives a stable per-benchmark seed from the name.
+func seedFor(name string) int64 {
+	h := int64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+func isqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

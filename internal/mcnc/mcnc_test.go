@@ -1,0 +1,143 @@
+package mcnc
+
+import (
+	"testing"
+)
+
+// TestTable2Values pins the profile table to the paper's Table II.
+func TestTable2Values(t *testing.T) {
+	if len(Profiles) != 20 {
+		t.Fatalf("%d profiles, want 20", len(Profiles))
+	}
+	checks := map[string][3]int{ // size, mcw, lbs
+		"alu4":     {35, 9, 1173},
+		"clma":     {79, 15, 6226},
+		"des":      {32, 8, 554},
+		"ex1010":   {56, 16, 3093},
+		"s38584.1": {65, 9, 4219},
+		"tseng":    {29, 8, 799},
+	}
+	for name, want := range checks {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size != want[0] || p.MCW != want[1] || p.LBs != want[2] {
+			t.Errorf("%s: (%d,%d,%d), want %v", name, p.Size, p.MCW, p.LBs, want)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestGridFitsBlocks: every profile's logic fits the interior of its
+// grid and pads fit the ring after scaling.
+func TestGridFitsBlocks(t *testing.T) {
+	for _, p := range Profiles {
+		g := p.Grid()
+		interior := (g.Width - 2) * (g.Height - 2)
+		if p.LBs > interior {
+			t.Errorf("%s: %d LBs exceed %d interior cells", p.Name, p.LBs, interior)
+		}
+		in, out := p.ScaledIO()
+		if in+out > g.NumPerimeter() {
+			t.Errorf("%s: %d pads exceed %d ring cells", p.Name, in+out, g.NumPerimeter())
+		}
+		if in < 1 || out < 1 {
+			t.Errorf("%s: scaled I/O degenerate (%d,%d)", p.Name, in, out)
+		}
+	}
+}
+
+// TestSizeMatchesSqrtRule: Table II sizes are ceil(sqrt(LBs)) except
+// for I/O-limited des.
+func TestSizeMatchesSqrtRule(t *testing.T) {
+	for _, p := range Profiles {
+		want := isqrtCeil(p.LBs)
+		if p.Name == "des" {
+			if p.Size <= want {
+				t.Errorf("des should be I/O-limited: size %d vs sqrt %d", p.Size, want)
+			}
+			continue
+		}
+		if p.Size != want {
+			t.Errorf("%s: size %d, ceil(sqrt(%d)) = %d", p.Name, p.Size, p.LBs, want)
+		}
+	}
+}
+
+func TestDesignGeneration(t *testing.T) {
+	p, err := ByName("des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Design(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLogicBlocks() != p.LBs {
+		t.Errorf("LBs = %d, want %d", d.NumLogicBlocks(), p.LBs)
+	}
+}
+
+func TestDesignDeterministic(t *testing.T) {
+	p, _ := ByName("ex5p")
+	a, err := p.Design(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Design(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nets) != len(b.Nets) {
+		t.Fatal("regeneration differs")
+	}
+	for i := range a.Nets {
+		if len(a.Nets[i].Sinks) != len(b.Nets[i].Sinks) {
+			t.Fatalf("net %d fanout differs", i)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ByName("clma")
+	s := p.Scale(4)
+	if s.LBs != 6226/16 {
+		t.Errorf("scaled LBs = %d", s.LBs)
+	}
+	if s.Size < isqrtCeil(s.LBs) {
+		t.Errorf("scaled size %d cannot hold %d LBs", s.Size, s.LBs)
+	}
+	g := s.Grid()
+	in, out := s.ScaledIO()
+	if in+out > g.NumPerimeter() {
+		t.Error("scaled I/O does not fit")
+	}
+	if p.Scale(1).Name != p.Name {
+		t.Error("Scale(1) should be identity")
+	}
+	// Scaled profile must generate a valid design.
+	d, err := s.Design(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLogicBlocks() != s.LBs {
+		t.Errorf("scaled design LBs = %d, want %d", d.NumLogicBlocks(), s.LBs)
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, p := range Profiles {
+		s := seedFor(p.Name)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision between %s and %s", prev, p.Name)
+		}
+		seen[s] = p.Name
+	}
+}

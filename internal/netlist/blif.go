@@ -1,0 +1,235 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// ParseBLIF reads the BLIF subset emitted by academic synthesis flows
+// (the format VTR consumes): .model/.inputs/.outputs/.names/.latch/.end,
+// with '#' comments, '\' line continuations, and single-output cover
+// lines. Both on-set ('1' output column) and off-set ('0') covers are
+// accepted, but not mixed within one .names block.
+func ParseBLIF(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var logical []string // logical lines after continuation folding
+	var pending strings.Builder
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteByte(' ')
+			continue
+		}
+		pending.WriteString(line)
+		logical = append(logical, pending.String())
+		pending.Reset()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: read: %w", err)
+	}
+	if pending.Len() > 0 {
+		return nil, fmt.Errorf("blif: dangling line continuation at end of input")
+	}
+
+	c := NewCircuit("top")
+	sawModel := false
+	i := 0
+	for i < len(logical) {
+		fields := strings.Fields(logical[i])
+		i++
+		switch fields[0] {
+		case ".model":
+			if sawModel {
+				return nil, fmt.Errorf("blif: multiple .model directives (hierarchy unsupported)")
+			}
+			sawModel = true
+			if len(fields) > 1 {
+				c.Name = fields[1]
+			}
+		case ".inputs":
+			for _, name := range fields[1:] {
+				c.AddInput(name)
+			}
+		case ".outputs":
+			for _, name := range fields[1:] {
+				c.AddOutput(name)
+			}
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: .names with no signals")
+			}
+			inputs := fields[1 : len(fields)-1]
+			output := fields[len(fields)-1]
+			var cover []string
+			for i < len(logical) && !strings.HasPrefix(logical[i], ".") {
+				cover = append(cover, logical[i])
+				i++
+			}
+			truth, err := coverToTruth(inputs, cover)
+			if err != nil {
+				return nil, fmt.Errorf("blif: .names %s: %w", output, err)
+			}
+			if _, err := c.AddLUT(output, inputs, truth); err != nil {
+				return nil, err
+			}
+		case ".latch":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("blif: .latch needs input and output")
+			}
+			c.AddLatch(fields[1], fields[2])
+		case ".end":
+			return c, nil
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("blif: unsupported directive %q", fields[0])
+			}
+			return nil, fmt.Errorf("blif: unexpected line %q", logical[i-1])
+		}
+	}
+	return c, nil
+}
+
+// coverToTruth evaluates a single-output cover into a full truth table
+// over len(inputs) variables.
+func coverToTruth(inputs []string, cover []string) (*bits.Vec, error) {
+	n := len(inputs)
+	if n > 20 {
+		return nil, fmt.Errorf("%d inputs exceeds cover evaluation limit", n)
+	}
+	truth := bits.NewVec(1 << uint(n))
+	if len(cover) == 0 {
+		return truth, nil // constant 0
+	}
+
+	type cube struct{ care, val uint32 }
+	var cubes []cube
+	polarity := byte(0)
+	for _, line := range cover {
+		fields := strings.Fields(line)
+		var inPart, outPart string
+		switch {
+		case n == 0 && len(fields) == 1:
+			inPart, outPart = "", fields[0]
+		case len(fields) == 2:
+			inPart, outPart = fields[0], fields[1]
+		default:
+			return nil, fmt.Errorf("malformed cover line %q", line)
+		}
+		if len(inPart) != n {
+			return nil, fmt.Errorf("cover line %q has %d input columns, want %d", line, len(inPart), n)
+		}
+		if len(outPart) != 1 || (outPart[0] != '0' && outPart[0] != '1') {
+			return nil, fmt.Errorf("cover line %q has bad output column", line)
+		}
+		if polarity == 0 {
+			polarity = outPart[0]
+		} else if polarity != outPart[0] {
+			return nil, fmt.Errorf("mixed on-set and off-set cover")
+		}
+		var cb cube
+		for j := 0; j < n; j++ {
+			switch inPart[j] {
+			case '1':
+				cb.care |= 1 << uint(j)
+				cb.val |= 1 << uint(j)
+			case '0':
+				cb.care |= 1 << uint(j)
+			case '-':
+			default:
+				return nil, fmt.Errorf("cover line %q has bad input column %c", line, inPart[j])
+			}
+		}
+		cubes = append(cubes, cb)
+	}
+
+	for combo := 0; combo < 1<<uint(n); combo++ {
+		matched := false
+		for _, cb := range cubes {
+			if uint32(combo)&cb.care == cb.val {
+				matched = true
+				break
+			}
+		}
+		on := matched == (polarity == '1')
+		truth.Set(combo, on)
+	}
+	return truth, nil
+}
+
+// WriteBLIF emits the circuit in the same BLIF subset ParseBLIF reads.
+// LUT covers are written as one on-set line per minterm, which is
+// verbose but canonical and round-trips exactly.
+func WriteBLIF(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", c.Name)
+
+	var ins, outs []string
+	for _, cell := range c.Cells {
+		switch cell.Kind {
+		case CellInput:
+			ins = append(ins, c.Nets[cell.Output].Name)
+		case CellOutput:
+			outs = append(outs, c.Nets[cell.Inputs[0]].Name)
+		}
+	}
+	writeList := func(directive string, names []string) {
+		fmt.Fprint(bw, directive)
+		for _, n := range names {
+			fmt.Fprintf(bw, " %s", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	writeList(".inputs", ins)
+	writeList(".outputs", outs)
+
+	for _, cell := range c.Cells {
+		switch cell.Kind {
+		case CellLUT:
+			fmt.Fprint(bw, ".names")
+			for _, in := range cell.Inputs {
+				fmt.Fprintf(bw, " %s", c.Nets[in].Name)
+			}
+			fmt.Fprintf(bw, " %s\n", c.Nets[cell.Output].Name)
+			n := len(cell.Inputs)
+			for combo := 0; combo < cell.Truth.Len(); combo++ {
+				if !cell.Truth.Get(combo) {
+					continue
+				}
+				if n == 0 {
+					fmt.Fprintln(bw, "1")
+					continue
+				}
+				row := make([]byte, n)
+				for j := 0; j < n; j++ {
+					if combo>>uint(j)&1 == 1 {
+						row[j] = '1'
+					} else {
+						row[j] = '0'
+					}
+				}
+				fmt.Fprintf(bw, "%s 1\n", row)
+			}
+		case CellLatch:
+			fmt.Fprintf(bw, ".latch %s %s re clk 0\n",
+				c.Nets[cell.Inputs[0]].Name, c.Nets[cell.Output].Name)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", 42)
+	tab.AddRow("b", 3.14159)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Demo", "Name", "alpha", "42", "3.142"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, underline, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and first row start of second column match.
+	hIdx := strings.Index(lines[2], "Value")
+	rIdx := strings.Index(lines[4], "42")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: %d vs %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := &Table{Headers: []string{"A"}}
+	tab.AddRow("x")
+	var sb strings.Builder
+	tab.Render(&sb)
+	if strings.Contains(sb.String(), "=") {
+		t.Error("untitled table rendered a title underline")
+	}
+}
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{100, "100b"},
+		{2048, "2.0Kb"},
+		{3 << 20, "3.00Mb"},
+	}
+	for _, c := range cases {
+		if got := Bits(c.n); got != c.want {
+			t.Errorf("Bits(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.412); got != "41.2%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

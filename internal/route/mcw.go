@@ -1,0 +1,125 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/rrg"
+)
+
+// TryWidth attempts to route the placed design at channel width w and
+// reports whether it succeeded. The returned Result is nil on failure.
+func TryWidth(d *netlist.Design, pl *place.Placement, w, k int, opt Options) (*Result, error) {
+	p := arch.Params{W: w, K: k}
+	gr, err := rrg.Build(p, pl.Grid)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Route(d, pl, gr, opt)
+	if err == nil {
+		return res, nil
+	}
+	if err == ErrUnroutable {
+		return nil, nil
+	}
+	// Structural no-path failures at very small widths are width
+	// limitations too, not hard errors.
+	if w <= 2 {
+		return nil, nil
+	}
+	return nil, err
+}
+
+// FindMCW performs the minimum-channel-width search of the paper's
+// Table II: double the width until routing succeeds, then binary-search
+// downward. It returns the MCW and the routing at that width.
+func FindMCW(d *netlist.Design, pl *place.Placement, k int, opt Options) (int, *Result, error) {
+	const maxW = 128
+	// Phase 1: find any routable width.
+	w := 4
+	var best *Result
+	bestW := 0
+	for ; w <= maxW; w *= 2 {
+		res, err := TryWidth(d, pl, w, k, opt)
+		if err != nil {
+			return 0, nil, err
+		}
+		if res != nil {
+			best, bestW = res, w
+			break
+		}
+	}
+	if best == nil {
+		return 0, nil, fmt.Errorf("route: unroutable even at W=%d", maxW)
+	}
+	// Phase 2: binary search in (lastFail, bestW].
+	lo, hi := bestW/2, bestW // lo failed (or untested lower bound), hi succeeded
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		res, err := TryWidth(d, pl, mid, k, opt)
+		if err != nil {
+			return 0, nil, err
+		}
+		if res != nil {
+			best, bestW = res, mid
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return bestW, best, nil
+}
+
+// Validate checks that a routing result is structurally sound and
+// legal: every net's tree is connected, starts at the net's source,
+// reaches every sink, and no conductor is used by two nets.
+func (res *Result) Validate(d *netlist.Design) error {
+	owner := make(map[rrg.NodeID]netlist.NetID)
+	for ni := range res.Routes {
+		nr := &res.Routes[ni]
+		if nr.Net != netlist.NetID(ni) {
+			return fmt.Errorf("route: result order corrupt at net %d", ni)
+		}
+		inTree := make(map[rrg.NodeID]bool, len(nr.Nodes))
+		if len(nr.Nodes) == 0 || nr.Nodes[0] != nr.Source {
+			return fmt.Errorf("route: net %q tree does not start at source", d.Nets[ni].Name)
+		}
+		inTree[nr.Source] = true
+		// Edges must connect a known node to a new one, in order.
+		for _, e := range nr.Edges {
+			if !inTree[e.From] {
+				return fmt.Errorf("route: net %q edge from unconnected node %s",
+					d.Nets[ni].Name, res.Graph.NodeName(e.From))
+			}
+			inTree[e.To] = true
+		}
+		if len(inTree) != len(nr.Nodes) {
+			return fmt.Errorf("route: net %q node list and edges disagree (%d vs %d)",
+				d.Nets[ni].Name, len(inTree), len(nr.Nodes))
+		}
+		for _, n := range nr.Nodes {
+			if !inTree[n] {
+				return fmt.Errorf("route: net %q node %s not reached by edges",
+					d.Nets[ni].Name, res.Graph.NodeName(n))
+			}
+			if prev, taken := owner[n]; taken && prev != netlist.NetID(ni) {
+				return fmt.Errorf("route: conductor %s used by nets %q and %q",
+					res.Graph.NodeName(n), d.Nets[prev].Name, d.Nets[ni].Name)
+			}
+			owner[n] = netlist.NetID(ni)
+		}
+		for _, s := range nr.Sinks {
+			if !inTree[s] {
+				return fmt.Errorf("route: net %q sink %s unreached",
+					d.Nets[ni].Name, res.Graph.NodeName(s))
+			}
+		}
+		if len(nr.Sinks) != len(d.Nets[ni].Sinks) {
+			return fmt.Errorf("route: net %q reached %d of %d sinks",
+				d.Nets[ni].Name, len(nr.Sinks), len(d.Nets[ni].Sinks))
+		}
+	}
+	return nil
+}

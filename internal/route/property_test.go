@@ -1,0 +1,102 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/rrg"
+)
+
+// TestRouteWirelengthLowerBound: a routed connection can never use
+// fewer conductors than the Manhattan distance between its endpoints'
+// macros — the mesh has only single-length wires (Section II-A), so
+// each hop crosses at most one macro boundary.
+func TestRouteWirelengthLowerBound(t *testing.T) {
+	d := testDesign(20, 30, 5, 5, 6)
+	pl := placed(t, d, 7, 20)
+	gr, err := rrg.Build(arch.Params{W: 10, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni := range res.Routes {
+		nr := &res.Routes[ni]
+		if len(nr.Sinks) == 0 {
+			continue
+		}
+		sx, sy, _, _ := gr.NodeInfo(nr.Source)
+		maxDist := 0
+		for _, s := range nr.Sinks {
+			x, y, _, _ := gr.NodeInfo(s)
+			if d := absInt(x-sx) + absInt(y-sy); d > maxDist {
+				maxDist = d
+			}
+		}
+		// Tree nodes >= farthest sink distance (each node advances at
+		// most one macro).
+		if len(nr.Nodes) < maxDist {
+			t.Fatalf("net %d: %d nodes for Manhattan distance %d", ni, len(nr.Nodes), maxDist)
+		}
+	}
+}
+
+// TestRouteTreeAcyclic: the edge list of every net forms a tree:
+// exactly len(Nodes)-1 edges, each introducing one new node.
+func TestRouteTreeAcyclic(t *testing.T) {
+	d := testDesign(21, 25, 5, 5, 6)
+	pl := placed(t, d, 6, 21)
+	gr, err := rrg.Build(arch.Params{W: 9, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni := range res.Routes {
+		nr := &res.Routes[ni]
+		if len(nr.Edges) != len(nr.Nodes)-1 {
+			t.Fatalf("net %d: %d edges for %d nodes (not a tree)", ni, len(nr.Edges), len(nr.Nodes))
+		}
+		seen := map[rrg.NodeID]bool{nr.Source: true}
+		for _, e := range nr.Edges {
+			if seen[e.To] {
+				t.Fatalf("net %d: node %s added twice (cycle)", ni, gr.NodeName(e.To))
+			}
+			seen[e.To] = true
+		}
+	}
+}
+
+// TestEveryTreeEdgeIsARealSwitch: each routed edge must reference a
+// switch whose two conductors resolve to the edge's endpoints —
+// otherwise bitstream generation would drive the wrong transistors.
+func TestEveryTreeEdgeIsARealSwitch(t *testing.T) {
+	d := testDesign(22, 20, 4, 4, 6)
+	pl := placed(t, d, 6, 22)
+	p := arch.Params{W: 8, K: 6}
+	gr, err := rrg.Build(p, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sws := p.Switches()
+	for ni := range res.Routes {
+		for _, e := range res.Routes[ni].Edges {
+			x, y := pl.Grid.Coords(int(e.Macro))
+			sw := sws[e.Switch]
+			a := gr.GlobalNode(x, y, sw.A)
+			b := gr.GlobalNode(x, y, sw.B)
+			if !(a == e.From && b == e.To) && !(a == e.To && b == e.From) {
+				t.Fatalf("net %d: edge %s->%s does not match switch %d of macro (%d,%d)",
+					ni, gr.NodeName(e.From), gr.NodeName(e.To), e.Switch, x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package route implements PathFinder negotiated-congestion routing
+// (McMurchie & Ebeling) over the fabric's routing-resource graph, the
+// routing stage VPR performs in the paper's CAD flow. Nets are routed
+// as trees (multi-sink expansion from the growing tree), resources are
+// shared-then-negotiated through present and historical congestion
+// costs, and a binary search over channel width recovers the minimum
+// channel width (MCW) reported in Table II.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/rrg"
+)
+
+// Options tunes the router.
+type Options struct {
+	// MaxIters bounds PathFinder iterations (default 40).
+	MaxIters int
+	// FirstPresFac is the initial present-congestion factor (default 0.5).
+	FirstPresFac float64
+	// PresFacMult grows the present factor each iteration (default 1.8).
+	PresFacMult float64
+	// HistFac accumulates historical congestion (default 1.0).
+	HistFac float64
+	// AStarFac scales the distance heuristic; 0 selects 1.0 (admissible).
+	// Larger values route faster but less optimally.
+	AStarFac float64
+	// NoEarlyAbort disables the stagnation predictor that declares a
+	// width unroutable when overuse stops shrinking, which mainly
+	// accelerates the failing probes of the MCW binary search.
+	NoEarlyAbort bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 40
+	}
+	if o.FirstPresFac == 0 {
+		o.FirstPresFac = 0.5
+	}
+	if o.PresFacMult == 0 {
+		o.PresFacMult = 1.8
+	}
+	if o.HistFac == 0 {
+		o.HistFac = 1.0
+	}
+	if o.AStarFac == 0 {
+		o.AStarFac = 1.0
+	}
+	return o
+}
+
+// TreeEdge is one switch turned on by a routed net: the parent->child
+// step of the net's routing tree.
+type TreeEdge struct {
+	From, To rrg.NodeID
+	// Macro is the grid index of the macro owning the switch.
+	Macro int32
+	// Switch indexes that macro's canonical switch enumeration.
+	Switch int32
+}
+
+// NetRoute is the routed tree of one net.
+type NetRoute struct {
+	Net    netlist.NetID
+	Source rrg.NodeID
+	// Nodes lists every conductor of the tree (source first).
+	Nodes []rrg.NodeID
+	// Edges lists the switches of the tree; Edges[i].To is reached
+	// from the already-connected Edges[i].From.
+	Edges []TreeEdge
+	// Sinks lists the sink pin nodes in routing order.
+	Sinks []rrg.NodeID
+}
+
+// Result is a complete legal routing of a design.
+type Result struct {
+	Graph      *rrg.Graph
+	Routes     []NetRoute // indexed by NetID
+	Iterations int
+	// WirelengthNodes is the total number of conductor nodes used.
+	WirelengthNodes int
+}
+
+// ErrUnroutable reports PathFinder failing to converge.
+var ErrUnroutable = fmt.Errorf("route: congestion did not resolve")
+
+// pinNode returns the global pin node of a block pin. Block input pin
+// i sits on physical pin i+1; block outputs (and input-pad outputs)
+// drive physical pin 0.
+func pinNode(gr *rrg.Graph, pl *place.Placement, b netlist.BlockID, physPin int) rrg.NodeID {
+	loc := pl.Loc[b]
+	return gr.NodePin(loc.X, loc.Y, physPin)
+}
+
+type conn struct {
+	sink rrg.NodeID
+	dist int // Manhattan distance from source, for ordering
+}
+
+type router struct {
+	gr  *rrg.Graph
+	d   *netlist.Design
+	opt Options
+
+	occ  []int32
+	hist []float32
+
+	// Search state, epoch-stamped to avoid clearing between searches.
+	epoch   int32
+	visEp   []int32
+	gCost   []float32
+	parent  []rrg.NodeID
+	parEdge []rrg.Edge
+	heap    nodeHeap
+
+	presFac float64
+}
+
+// Route routes every net of the placed design. The result is legal
+// (every conductor used by at most one net) or ErrUnroutable.
+func Route(d *netlist.Design, pl *place.Placement, gr *rrg.Graph, opt Options) (*Result, error) {
+	if err := pl.Validate(d); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	opt = opt.withDefaults()
+	r := &router{
+		gr: gr, d: d, opt: opt,
+		occ:     make([]int32, gr.NumNodes()),
+		hist:    make([]float32, gr.NumNodes()),
+		visEp:   make([]int32, gr.NumNodes()),
+		gCost:   make([]float32, gr.NumNodes()),
+		parent:  make([]rrg.NodeID, gr.NumNodes()),
+		parEdge: make([]rrg.Edge, gr.NumNodes()),
+	}
+
+	// Precompute each net's source and ordered sinks.
+	sources := make([]rrg.NodeID, len(d.Nets))
+	sinks := make([][]conn, len(d.Nets))
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		src := pinNode(gr, pl, net.Driver, 0)
+		sources[ni] = src
+		sx, sy, _, _ := gr.NodeInfo(src)
+		cs := make([]conn, 0, len(net.Sinks))
+		for _, s := range net.Sinks {
+			phys := s.Input + 1
+			if d.Blocks[s.Block].Kind == netlist.OutputPad {
+				phys = 1 // pads sink on physical pin 1
+			}
+			sn := pinNode(gr, pl, s.Block, phys)
+			x, y, _, _ := gr.NodeInfo(sn)
+			cs = append(cs, conn{sink: sn, dist: absInt(x-sx) + absInt(y-sy)})
+		}
+		// Route near sinks first: the tree grows outward, which keeps
+		// later searches short.
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].dist != cs[b].dist {
+				return cs[a].dist < cs[b].dist
+			}
+			return cs[a].sink < cs[b].sink
+		})
+		sinks[ni] = cs
+	}
+
+	routes := make([]NetRoute, len(d.Nets))
+	r.presFac = opt.FirstPresFac
+	iterations := 0
+	bestOveruse := -1
+	stagnant := 0
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		iterations = iter + 1
+		for ni := range d.Nets {
+			if iter > 0 {
+				r.ripUp(&routes[ni])
+			}
+			nr, err := r.routeNet(netlist.NetID(ni), sources[ni], sinks[ni])
+			if err != nil {
+				return nil, fmt.Errorf("route: net %q: %w", d.Nets[ni].Name, err)
+			}
+			routes[ni] = nr
+		}
+		overuse := r.totalOveruse()
+		if overuse == 0 {
+			res := &Result{Graph: gr, Routes: routes, Iterations: iterations}
+			for i := range routes {
+				res.WirelengthNodes += len(routes[i].Nodes)
+			}
+			return res, nil
+		}
+		// Stagnation predictor: when congestion stops shrinking the
+		// width is hopeless; give up early rather than burn MaxIters.
+		if bestOveruse < 0 || overuse < bestOveruse-bestOveruse/50 {
+			bestOveruse = min2(overuse, bestOveruse)
+			if bestOveruse < 0 {
+				bestOveruse = overuse
+			}
+			stagnant = 0
+		} else {
+			stagnant++
+			if !opt.NoEarlyAbort && iter >= 5 && stagnant >= 4 {
+				return nil, ErrUnroutable
+			}
+		}
+		// Accumulate history on overused nodes, raise pressure.
+		for n, o := range r.occ {
+			if o > 1 {
+				r.hist[n] += float32(r.opt.HistFac) * float32(o-1)
+			}
+		}
+		r.presFac *= opt.PresFacMult
+		if r.presFac > 1e7 {
+			r.presFac = 1e7
+		}
+	}
+	return nil, ErrUnroutable
+}
+
+func min2(a, b int) int {
+	if b >= 0 && b < a {
+		return b
+	}
+	return a
+}
+
+func (r *router) ripUp(nr *NetRoute) {
+	for _, n := range nr.Nodes {
+		r.occ[n]--
+	}
+}
+
+func (r *router) totalOveruse() int {
+	total := 0
+	for _, o := range r.occ {
+		if o > 1 {
+			total += int(o - 1)
+		}
+	}
+	return total
+}
+
+// nodeCost is the PathFinder congestion cost of adding node n.
+func (r *router) nodeCost(n rrg.NodeID) float32 {
+	over := float64(r.occ[n]) // capacity 1: occupancy equals current use
+	pres := 1.0
+	if over >= 1 {
+		pres = 1.0 + r.presFac*over
+	}
+	return float32((1.0 + float64(r.hist[n])) * pres)
+}
+
+// routeNet builds the routing tree for one net, expanding sink by sink
+// from the growing tree.
+func (r *router) routeNet(net netlist.NetID, src rrg.NodeID, conns []conn) (NetRoute, error) {
+	nr := NetRoute{Net: net, Source: src, Nodes: []rrg.NodeID{src}}
+	r.occ[src]++
+	if len(conns) == 0 {
+		return nr, nil
+	}
+	inTree := make(map[rrg.NodeID]bool, 4*len(conns))
+	inTree[src] = true
+	for _, c := range conns {
+		if inTree[c.sink] {
+			nr.Sinks = append(nr.Sinks, c.sink)
+			continue // another pin of the same block already reached
+		}
+		if err := r.expand(&nr, inTree, c.sink); err != nil {
+			return nr, err
+		}
+		nr.Sinks = append(nr.Sinks, c.sink)
+	}
+	return nr, nil
+}
+
+// expand runs A* from the current tree to one sink and grafts the path.
+func (r *router) expand(nr *NetRoute, inTree map[rrg.NodeID]bool, sink rrg.NodeID) error {
+	r.epoch++
+	r.heap.reset()
+	tx, ty, _, _ := r.gr.NodeInfo(sink)
+	h := func(n rrg.NodeID) float32 {
+		x, y, _, _ := r.gr.NodeInfo(n)
+		return float32(r.opt.AStarFac) * float32(absInt(x-tx)+absInt(y-ty))
+	}
+	for _, n := range nr.Nodes {
+		r.visEp[n] = r.epoch
+		r.gCost[n] = 0
+		r.parent[n] = rrg.NoNode
+		r.heap.push(heapItem{prio: h(n), node: n})
+	}
+	const maxExpansions = 4 << 20
+	expansions := 0
+	for r.heap.len() > 0 {
+		it := r.heap.pop()
+		n := it.node
+		if n == sink {
+			r.graft(nr, inTree, sink)
+			return nil
+		}
+		// Stale heap entries: skip if a better cost was recorded.
+		if it.prio > r.gCost[n]+h(n)+1e-4 {
+			continue
+		}
+		expansions++
+		if expansions > maxExpansions {
+			break
+		}
+		for _, e := range r.gr.Adj(n) {
+			// Pin 0 wires are driven by their logic block; they are
+			// never legal route-throughs, only sources or sinks.
+			if e.To != sink && !inTree[e.To] && r.isOutputPin(e.To) {
+				continue
+			}
+			g := r.gCost[n] + r.nodeCost(e.To)
+			if r.visEp[e.To] == r.epoch && g >= r.gCost[e.To] {
+				continue
+			}
+			r.visEp[e.To] = r.epoch
+			r.gCost[e.To] = g
+			r.parent[e.To] = n
+			r.parEdge[e.To] = e
+			r.heap.push(heapItem{prio: g + h(e.To), node: e.To})
+		}
+	}
+	return fmt.Errorf("no path to sink %s", r.gr.NodeName(sink))
+}
+
+func (r *router) isOutputPin(n rrg.NodeID) bool {
+	_, _, kind, idx := r.gr.NodeInfo(n)
+	return kind == rrg.NodePinWire && idx == 0
+}
+
+// graft walks parent pointers from sink back to the tree and records
+// the new nodes and switches.
+func (r *router) graft(nr *NetRoute, inTree map[rrg.NodeID]bool, sink rrg.NodeID) {
+	var path []rrg.NodeID
+	n := sink
+	for n != rrg.NoNode && !inTree[n] {
+		path = append(path, n)
+		n = r.parent[n]
+	}
+	// path is sink..first-new-node; reverse so edges go tree -> sink.
+	for i := len(path) - 1; i >= 0; i-- {
+		node := path[i]
+		e := r.parEdge[node]
+		nr.Edges = append(nr.Edges, TreeEdge{
+			From: r.parent[node], To: node, Macro: e.Macro, Switch: e.Switch,
+		})
+		nr.Nodes = append(nr.Nodes, node)
+		inTree[node] = true
+		r.occ[node]++
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// heapItem orders the A* frontier by priority, then node id for
+// determinism.
+type heapItem struct {
+	prio float32
+	node rrg.NodeID
+}
+
+type nodeHeap struct{ a []heapItem }
+
+func (h *nodeHeap) reset()   { h.a = h.a[:0] }
+func (h *nodeHeap) len() int { return len(h.a) }
+
+func (h *nodeHeap) less(i, j int) bool {
+	if h.a[i].prio != h.a[j].prio {
+		return h.a[i].prio < h.a[j].prio
+	}
+	return h.a[i].node < h.a[j].node
+}
+
+func (h *nodeHeap) push(it heapItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.less(p, i) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() heapItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.a) && h.less(l, m) {
+			m = l
+		}
+		if rr < len(h.a) && h.less(rr, m) {
+			m = rr
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

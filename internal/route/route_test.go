@@ -1,0 +1,312 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/rrg"
+)
+
+func testDesign(seed int64, nLB, nIn, nOut, k int) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := &netlist.Design{Name: "t", K: k}
+	truth := bits.NewVec(1 << uint(k))
+	truth.Set(1, true)
+	var nets []netlist.NetID
+	for i := 0; i < nIn; i++ {
+		_, n := d.AddInputPad("pi")
+		nets = append(nets, n)
+	}
+	for i := 0; i < nLB; i++ {
+		nin := rng.Intn(k-1) + 1
+		ins := make([]netlist.NetID, nin)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		_, n := d.AddLogicBlock("lb", ins, truth, false)
+		nets = append(nets, n)
+	}
+	for i := 0; i < nOut; i++ {
+		d.AddOutputPad("po", nets[len(nets)-1-i])
+	}
+	return d
+}
+
+func placed(t *testing.T, d *netlist.Design, size int, seed int64) *place.Placement {
+	t.Helper()
+	pl, err := place.Place(d, arch.GridForSize(size), place.Options{
+		Seed: seed, InnerNum: 1, FastExit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestRouteSmallDesign(t *testing.T) {
+	d := testDesign(1, 25, 5, 5, 6)
+	pl := placed(t, d, 6, 1)
+	gr, err := rrg.Build(arch.Params{W: 8, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 1 {
+		t.Error("iterations should be >= 1")
+	}
+	if res.WirelengthNodes <= 0 {
+		t.Error("wirelength should be positive")
+	}
+}
+
+func TestRouteEveryNetReachesItsSinks(t *testing.T) {
+	d := testDesign(2, 30, 6, 6, 6)
+	pl := placed(t, d, 7, 2)
+	gr, err := rrg.Build(arch.Params{W: 10, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni, nr := range res.Routes {
+		// Source pin must be physical pin 0 of the driver block.
+		loc := pl.Loc[d.Nets[ni].Driver]
+		if nr.Source != gr.NodePin(loc.X, loc.Y, 0) {
+			t.Fatalf("net %d source mismatch", ni)
+		}
+		if len(nr.Sinks) != len(d.Nets[ni].Sinks) {
+			t.Fatalf("net %d: %d sinks routed, want %d", ni, len(nr.Sinks), len(d.Nets[ni].Sinks))
+		}
+	}
+}
+
+func TestRouteExclusiveOccupancy(t *testing.T) {
+	d := testDesign(3, 30, 5, 5, 6)
+	pl := placed(t, d, 7, 3)
+	gr, err := rrg.Build(arch.Params{W: 8, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[rrg.NodeID]int)
+	for ni := range res.Routes {
+		for _, n := range res.Routes[ni].Nodes {
+			if prev, ok := seen[n]; ok && prev != ni {
+				t.Fatalf("conductor %s shared by nets %d and %d", gr.NodeName(n), prev, ni)
+			}
+			seen[n] = ni
+		}
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	d := testDesign(4, 20, 4, 4, 6)
+	pl := placed(t, d, 6, 4)
+	gr, err := rrg.Build(arch.Params{W: 8, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni := range a.Routes {
+		if len(a.Routes[ni].Nodes) != len(b.Routes[ni].Nodes) {
+			t.Fatalf("net %d differs between identical runs", ni)
+		}
+		for i := range a.Routes[ni].Nodes {
+			if a.Routes[ni].Nodes[i] != b.Routes[ni].Nodes[i] {
+				t.Fatalf("net %d node %d differs", ni, i)
+			}
+		}
+	}
+}
+
+func TestRouteNoOutputPinRouteThrough(t *testing.T) {
+	d := testDesign(5, 30, 5, 5, 6)
+	pl := placed(t, d, 7, 5)
+	gr, err := rrg.Build(arch.Params{W: 8, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni := range res.Routes {
+		nr := &res.Routes[ni]
+		for _, n := range nr.Nodes {
+			_, _, kind, idx := gr.NodeInfo(n)
+			if kind == rrg.NodePinWire && idx == 0 && n != nr.Source {
+				t.Fatalf("net %d uses output pin %s as route-through", ni, gr.NodeName(n))
+			}
+		}
+	}
+}
+
+func TestRouteUnroutableTinyWidth(t *testing.T) {
+	// Dense design on W=1: the single track per channel cannot carry
+	// the required crossings.
+	d := testDesign(6, 30, 6, 6, 6)
+	pl := placed(t, d, 6, 6)
+	gr, err := rrg.Build(arch.Params{W: 1, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Route(d, pl, gr, Options{MaxIters: 8}); err == nil {
+		t.Error("expected failure at W=1")
+	}
+}
+
+func TestFindMCW(t *testing.T) {
+	d := testDesign(7, 35, 6, 6, 6)
+	pl := placed(t, d, 7, 7)
+	mcw, res, err := FindMCW(d, pl, 6, Options{MaxIters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result at MCW")
+	}
+	if err := res.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if mcw < 2 || mcw > 32 {
+		t.Errorf("MCW = %d, implausible for this design", mcw)
+	}
+	// One width below MCW must fail (minimality).
+	below, err := TryWidth(d, pl, mcw-1, 6, Options{MaxIters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below != nil {
+		t.Errorf("W=%d routed, so MCW=%d is not minimal", mcw-1, mcw)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := testDesign(8, 15, 4, 4, 6)
+	pl := placed(t, d, 5, 8)
+	gr, err := rrg.Build(arch.Params{W: 8, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a net with at least one edge and corrupt it.
+	for ni := range res.Routes {
+		if len(res.Routes[ni].Edges) == 0 {
+			continue
+		}
+		saved := res.Routes[ni].Edges[0].From
+		res.Routes[ni].Edges[0].From = res.Routes[ni].Edges[len(res.Routes[ni].Edges)-1].To + 1
+		if err := res.Validate(d); err == nil {
+			t.Error("corrupted edge not detected")
+		}
+		res.Routes[ni].Edges[0].From = saved
+		break
+	}
+	// Duplicate another net's node into this one.
+	var a, b int = -1, -1
+	for ni := range res.Routes {
+		if len(res.Routes[ni].Nodes) > 1 {
+			if a < 0 {
+				a = ni
+			} else {
+				b = ni
+				break
+			}
+		}
+	}
+	if a >= 0 && b >= 0 {
+		stolen := res.Routes[a].Nodes[len(res.Routes[a].Nodes)-1]
+		res.Routes[b].Nodes = append(res.Routes[b].Nodes, stolen)
+		if err := res.Validate(d); err == nil {
+			t.Error("conductor sharing not detected")
+		}
+	}
+}
+
+func TestZeroFanoutNet(t *testing.T) {
+	d := &netlist.Design{Name: "z", K: 4}
+	truth := bits.NewVec(16)
+	_, n := d.AddInputPad("a")
+	d.AddLogicBlock("dead", []netlist.NetID{n}, truth, false) // output unused
+	d.AddOutputPad("po", n)
+	pl := placed(t, d, 3, 9)
+	gr, err := rrg.Build(arch.Params{W: 4, K: 4}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, pl, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	// The dead block's net should be just its source pin.
+	for ni := range res.Routes {
+		if len(d.Nets[ni].Sinks) == 0 && len(res.Routes[ni].Edges) != 0 {
+			t.Error("zero-fanout net has routing edges")
+		}
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	var h nodeHeap
+	h.push(heapItem{prio: 3, node: 1})
+	h.push(heapItem{prio: 1, node: 9})
+	h.push(heapItem{prio: 1, node: 2})
+	h.push(heapItem{prio: 2, node: 5})
+	order := []rrg.NodeID{2, 9, 5, 1} // prio asc, ties by node id
+	for i, want := range order {
+		got := h.pop()
+		if got.node != want {
+			t.Fatalf("pop %d = node %d, want %d", i, got.node, want)
+		}
+	}
+	if h.len() != 0 {
+		t.Error("heap not empty")
+	}
+}
+
+func BenchmarkRouteSmall(b *testing.B) {
+	d := testDesign(10, 40, 6, 6, 6)
+	pl, err := place.Place(d, arch.GridForSize(7), place.Options{Seed: 1, InnerNum: 1, FastExit: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr, err := rrg.Build(arch.Params{W: 10, K: 6}, pl.Grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(d, pl, gr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

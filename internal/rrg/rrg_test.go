@@ -1,0 +1,247 @@
+package rrg
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func small(t *testing.T) *Graph {
+	t.Helper()
+	gr, err := Build(arch.PaperExample(), arch.Grid{Width: 4, Height: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(arch.Params{}, arch.Grid{Width: 2, Height: 2}); err == nil {
+		t.Error("bad params should fail")
+	}
+	if _, err := Build(arch.PaperExample(), arch.Grid{}); err == nil {
+		t.Error("bad grid should fail")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	gr := small(t)
+	want := 4 * 3 * (2*5 + 7)
+	if gr.NumNodes() != want {
+		t.Errorf("NumNodes = %d, want %d", gr.NumNodes(), want)
+	}
+}
+
+func TestNodeInfoRoundTrip(t *testing.T) {
+	gr := small(t)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 3; y++ {
+			for tr := 0; tr < 5; tr++ {
+				n := gr.NodeHW(x, y, tr)
+				nx, ny, k, i := gr.NodeInfo(n)
+				if nx != x || ny != y || k != NodeHWire || i != tr {
+					t.Fatalf("HW(%d,%d,%d) -> (%d,%d,%v,%d)", x, y, tr, nx, ny, k, i)
+				}
+				n = gr.NodeVW(x, y, tr)
+				if nx, ny, k, i = gr.NodeInfo(n); nx != x || ny != y || k != NodeVWire || i != tr {
+					t.Fatalf("VW round trip failed")
+				}
+			}
+			for p := 0; p < 7; p++ {
+				n := gr.NodePin(x, y, p)
+				nx, ny, k, i := gr.NodeInfo(n)
+				if nx != x || ny != y || k != NodePinWire || i != p {
+					t.Fatalf("Pin round trip failed")
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeCount checks the exact edge count: each macro contributes its
+// switch list minus switches referencing off-fabric neighbour wires.
+func TestEdgeCount(t *testing.T) {
+	p := arch.PaperExample()
+	g := arch.Grid{Width: 4, Height: 3}
+	gr, err := Build(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full macro: 6W sb pairs + L*W junctions.
+	full := 6*p.W + p.L()*p.W
+	// A west-edge macro loses the 3 pairs touching InW per track; a
+	// south-edge macro loses the 3 pairs touching InS; the corner loses
+	// 5 of 6 pairs (only HW-VW remains).
+	want := 0
+	for x := 0; x < g.Width; x++ {
+		for y := 0; y < g.Height; y++ {
+			e := full
+			switch {
+			case x == 0 && y == 0:
+				e -= 5 * p.W
+			case x == 0 || y == 0:
+				e -= 3 * p.W
+			}
+			want += e
+		}
+	}
+	if gr.NumEdges() != want {
+		t.Errorf("NumEdges = %d, want %d", gr.NumEdges(), want)
+	}
+}
+
+// TestWireSharing verifies that the InW conductor of macro (x, y) is
+// the HW node of macro (x-1, y): a switch-box edge from (x,y) must
+// connect the neighbour's wire.
+func TestWireSharing(t *testing.T) {
+	gr := small(t)
+	p := gr.P
+	// In macro (1,1), the SB pair (InW(2), VW(2)) connects node
+	// HW(0,1,2) with node VW(1,1,2), owned by macro (1,1).
+	a := gr.NodeHW(0, 1, 2)
+	b := gr.NodeVW(1, 1, 2)
+	macroIdx := int32(gr.G.Index(1, 1))
+	found := false
+	for _, e := range gr.Adj(a) {
+		if e.To == b && e.Macro == macroIdx {
+			sw := p.Switches()[e.Switch]
+			// The switch's local conductors must be InW(2) and VW(2).
+			k1, i1 := p.CondInfo(sw.A)
+			k2, i2 := p.CondInfo(sw.B)
+			if (k1 == arch.KindInW && i1 == 2 && k2 == arch.KindVW && i2 == 2) ||
+				(k2 == arch.KindInW && i2 == 2 && k1 == arch.KindVW && i1 == 2) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("expected SB edge between neighbour HW and own VW not found")
+	}
+}
+
+// TestAdjacencySymmetric checks both directed halves exist with the
+// same switch annotation.
+func TestAdjacencySymmetric(t *testing.T) {
+	gr := small(t)
+	for n := 0; n < gr.NumNodes(); n++ {
+		for _, e := range gr.Adj(NodeID(n)) {
+			back := false
+			for _, r := range gr.Adj(e.To) {
+				if r.To == NodeID(n) && r.Macro == e.Macro && r.Switch == e.Switch {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("edge %s -> %s has no reverse", gr.NodeName(NodeID(n)), gr.NodeName(e.To))
+			}
+		}
+	}
+}
+
+// TestPinReachability: from any pin wire one can reach a neighbouring
+// macro's pin wire through the graph (basic connectivity sanity).
+func TestPinReachability(t *testing.T) {
+	gr := small(t)
+	src := gr.NodePin(1, 1, 0)
+	dst := gr.NodePin(2, 1, 1)
+	visited := make([]bool, gr.NumNodes())
+	queue := []NodeID{src}
+	visited[src] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			return
+		}
+		for _, e := range gr.Adj(n) {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	t.Error("pin (1,1)#0 cannot reach pin (2,1)#1")
+}
+
+func TestLocalCond(t *testing.T) {
+	gr := small(t)
+	p := gr.P
+	// HW(1,1,3) inside its own macro is CondHW(3).
+	n := gr.NodeHW(1, 1, 3)
+	if c, ok := gr.LocalCond(n, 1, 1); !ok || c != p.CondHW(3) {
+		t.Errorf("own macro: got %v,%v", c, ok)
+	}
+	// Inside (2,1) it is InW(3).
+	if c, ok := gr.LocalCond(n, 2, 1); !ok || c != p.CondInW(3) {
+		t.Errorf("east neighbour: got %v,%v", c, ok)
+	}
+	// It does not touch (3,1).
+	if _, ok := gr.LocalCond(n, 3, 1); ok {
+		t.Error("wire should not touch (3,1)")
+	}
+	// VW(1,1,2) is InS(2) inside (1,2).
+	v := gr.NodeVW(1, 1, 2)
+	if c, ok := gr.LocalCond(v, 1, 2); !ok || c != p.CondInS(2) {
+		t.Errorf("north neighbour: got %v,%v", c, ok)
+	}
+	// Pin wires touch only their own macro.
+	pw := gr.NodePin(2, 2, 4)
+	if c, ok := gr.LocalCond(pw, 2, 2); !ok || c != p.CondPin(4) {
+		t.Errorf("pin: got %v,%v", c, ok)
+	}
+	if _, ok := gr.LocalCond(pw, 1, 2); ok {
+		t.Error("pin should not touch neighbour")
+	}
+}
+
+func TestMacrosTouching(t *testing.T) {
+	gr := small(t)
+	g := gr.G
+	// Interior horizontal wire touches its macro and the east one.
+	ms := gr.MacrosTouching(gr.NodeHW(1, 1, 0))
+	if len(ms) != 2 || ms[0] != g.Index(1, 1) || ms[1] != g.Index(2, 1) {
+		t.Errorf("HW touching = %v", ms)
+	}
+	// East-edge horizontal wire touches only its macro.
+	ms = gr.MacrosTouching(gr.NodeHW(3, 1, 0))
+	if len(ms) != 1 || ms[0] != g.Index(3, 1) {
+		t.Errorf("edge HW touching = %v", ms)
+	}
+	// Pin wire touches one macro.
+	ms = gr.MacrosTouching(gr.NodePin(2, 1, 3))
+	if len(ms) != 1 {
+		t.Errorf("pin touching = %v", ms)
+	}
+	// Vertical wire touches its macro and the north one.
+	ms = gr.MacrosTouching(gr.NodeVW(1, 1, 2))
+	if len(ms) != 2 || ms[1] != g.Index(1, 2) {
+		t.Errorf("VW touching = %v", ms)
+	}
+}
+
+func TestNodeNameAndKindString(t *testing.T) {
+	gr := small(t)
+	if got := gr.NodeName(gr.NodeHW(1, 2, 3)); got != "hw(1,2)#3" {
+		t.Errorf("NodeName = %q", got)
+	}
+	if gr.NodeName(NoNode) != "none" {
+		t.Error("NodeName(NoNode)")
+	}
+	if NodeHWire.String() != "hw" || NodeVWire.String() != "vw" || NodePinWire.String() != "pin" {
+		t.Error("NodeKind strings")
+	}
+}
+
+func BenchmarkBuildMedium(b *testing.B) {
+	p := arch.Default()
+	g := arch.GridForSize(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gr, err := Build(p, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = gr.NumEdges()
+	}
+}

@@ -1,0 +1,224 @@
+// Package synth turns generic netlists into packed designs for the
+// K-LUT architecture: it decomposes wide LUTs into K-feasible trees
+// (the technology-mapping stage of the VTR front end) and packs LUTs,
+// latches and pads into the one-LUT-one-FF logic blocks of the paper's
+// architecture.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/netlist"
+)
+
+// MapToK returns a functionally equivalent circuit in which every LUT
+// has at most k inputs, decomposing wider LUTs by Shannon expansion on
+// their highest input variable. Pads and latches pass through
+// unchanged.
+func MapToK(c *netlist.Circuit, k int) (*netlist.Circuit, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("synth: cannot map to K=%d (need K >= 2)", k)
+	}
+	out := netlist.NewCircuit(c.Name)
+	fresh := 0
+	for _, cell := range c.Cells {
+		switch cell.Kind {
+		case netlist.CellInput:
+			out.AddInput(c.Nets[cell.Output].Name)
+		case netlist.CellOutput:
+			out.AddOutput(c.Nets[cell.Inputs[0]].Name)
+		case netlist.CellLatch:
+			out.AddLatch(c.Nets[cell.Inputs[0]].Name, c.Nets[cell.Output].Name)
+		case netlist.CellLUT:
+			ins := make([]string, len(cell.Inputs))
+			for i, in := range cell.Inputs {
+				ins[i] = c.Nets[in].Name
+			}
+			if err := emitLUT(out, c.Nets[cell.Output].Name, ins, cell.Truth, k, &fresh); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// emitLUT adds a LUT computing truth over ins to out, recursively
+// Shannon-expanding while len(ins) > k.
+func emitLUT(out *netlist.Circuit, name string, ins []string, truth *bits.Vec, k int, fresh *int) error {
+	n := len(ins)
+	if n <= k {
+		_, err := out.AddLUT(name, ins, truth)
+		return err
+	}
+	// Cofactor on the last variable.
+	lo, hi := bits.NewVec(1<<uint(n-1)), bits.NewVec(1<<uint(n-1))
+	for i := 0; i < 1<<uint(n-1); i++ {
+		lo.Set(i, truth.Get(i))
+		hi.Set(i, truth.Get(i|1<<uint(n-1)))
+	}
+	loName := fmt.Sprintf("%s$m%d", name, *fresh)
+	*fresh++
+	hiName := fmt.Sprintf("%s$m%d", name, *fresh)
+	*fresh++
+	sub := append([]string(nil), ins[:n-1]...)
+	if err := emitLUT(out, loName, sub, lo, k, fresh); err != nil {
+		return err
+	}
+	if err := emitLUT(out, hiName, sub, hi, k, fresh); err != nil {
+		return err
+	}
+	// 2:1 mux on the expanded variable: inputs (lo, hi, sel).
+	mux := bits.NewVec(8)
+	for i := 0; i < 8; i++ {
+		sel, hiV, loV := i>>2&1 == 1, i>>1&1 == 1, i&1 == 1
+		if (sel && hiV) || (!sel && loV) {
+			mux.Set(i, true)
+		}
+	}
+	_, err := out.AddLUT(name, []string{loName, hiName, ins[n-1]}, mux)
+	return err
+}
+
+// ExpandTruth widens an n-variable truth table to k variables; the
+// added high-order variables are don't-cares.
+func ExpandTruth(truth *bits.Vec, k int) *bits.Vec {
+	n := 0
+	for 1<<uint(n) < truth.Len() {
+		n++
+	}
+	if 1<<uint(n) != truth.Len() {
+		panic(fmt.Sprintf("synth: truth table of %d bits is not a power of two", truth.Len()))
+	}
+	out := bits.NewVec(1 << uint(k))
+	mask := truth.Len() - 1
+	for i := 0; i < out.Len(); i++ {
+		out.Set(i, truth.Get(i&mask))
+	}
+	return out
+}
+
+// identityTruth returns the K-variable truth table of f(x) = x0.
+func identityTruth(k int) *bits.Vec {
+	v := bits.NewVec(1 << uint(k))
+	for i := 0; i < v.Len(); i++ {
+		v.Set(i, i&1 == 1)
+	}
+	return v
+}
+
+// Pack converts a K-feasible circuit into a packed design: each LUT
+// becomes a logic block; a latch fed exclusively by one LUT is absorbed
+// into that LUT's block as its flip-flop (the VPR packing rule for
+// single-LUT clusters); remaining latches become registered
+// pass-through blocks. It fails if any LUT has more than k inputs.
+func Pack(c *netlist.Circuit, k int) (*netlist.Design, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: pack input: %w", err)
+	}
+	d := &netlist.Design{Name: c.Name, K: k}
+
+	// absorbs[lut] is the latch packed into that LUT's block, when the
+	// LUT's output feeds exactly that latch and nothing else.
+	absorbs := make(map[netlist.CellID]netlist.CellID)
+	for id, cell := range c.Cells {
+		if cell.Kind != netlist.CellLatch {
+			continue
+		}
+		dNet := cell.Inputs[0]
+		drv := c.Nets[dNet].Driver
+		if drv != netlist.NoCell &&
+			c.Cells[drv].Kind == netlist.CellLUT &&
+			len(c.Nets[dNet].Sinks) == 1 {
+			if _, taken := absorbs[drv]; !taken {
+				absorbs[drv] = netlist.CellID(id)
+			}
+		}
+	}
+
+	// netOf maps a circuit net to the design net carrying its value.
+	netOf := make(map[netlist.NetID]netlist.NetID)
+	// Deferred input hookups: block inputs are connected after all
+	// driver blocks exist, since LUTs may read nets defined later.
+	type hookup struct {
+		block netlist.BlockID
+		pin   int
+		src   netlist.NetID // circuit net
+	}
+	var hookups []hookup
+
+	for id, cell := range c.Cells {
+		cid := netlist.CellID(id)
+		switch cell.Kind {
+		case netlist.CellInput:
+			_, n := d.AddInputPad(c.Nets[cell.Output].Name)
+			netOf[cell.Output] = n
+		case netlist.CellLUT:
+			if len(cell.Inputs) > k {
+				return nil, fmt.Errorf("synth: LUT %q has %d inputs > K=%d (run MapToK first)",
+					cell.Name, len(cell.Inputs), k)
+			}
+			name := c.Nets[cell.Output].Name
+			registered := false
+			outNet := cell.Output
+			if latch, ok := absorbs[cid]; ok {
+				registered = true
+				outNet = c.Cells[latch].Output
+				name = c.Nets[outNet].Name
+			}
+			ins := make([]netlist.NetID, len(cell.Inputs))
+			for i := range ins {
+				ins[i] = netlist.NoNet
+			}
+			bid, n := d.AddLogicBlock(name, ins, ExpandTruth(cell.Truth, k), registered)
+			netOf[outNet] = n
+			for i, src := range cell.Inputs {
+				hookups = append(hookups, hookup{bid, i, src})
+			}
+		case netlist.CellLatch:
+			if latch, ok := absorbs[c.Nets[cell.Inputs[0]].Driver]; ok && latch == cid {
+				continue // absorbed into its driver LUT
+			}
+			// Registered pass-through block (identity LUT + FF).
+			name := c.Nets[cell.Output].Name
+			bid, n := d.AddLogicBlock(name, []netlist.NetID{netlist.NoNet}, identityTruth(k), true)
+			netOf[cell.Output] = n
+			hookups = append(hookups, hookup{bid, 0, cell.Inputs[0]})
+		case netlist.CellOutput:
+			// Handled after all drivers exist.
+		}
+	}
+	for id, cell := range c.Cells {
+		if cell.Kind != netlist.CellOutput {
+			continue
+		}
+		src, ok := netOf[cell.Inputs[0]]
+		if !ok {
+			return nil, fmt.Errorf("synth: output %q reads unmapped net", c.Cells[id].Name)
+		}
+		d.AddOutputPad(c.Nets[cell.Inputs[0]].Name, src)
+	}
+
+	for _, h := range hookups {
+		src, ok := netOf[h.src]
+		if !ok {
+			return nil, fmt.Errorf("synth: block input reads unmapped net %q", c.Nets[h.src].Name)
+		}
+		d.Blocks[h.block].Inputs[h.pin] = src
+		d.Nets[src].Sinks = append(d.Nets[src].Sinks, netlist.BlockPin{Block: h.block, Input: h.pin})
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: packed design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// Synthesize is the full front end: map to K-feasible LUTs, then pack.
+func Synthesize(c *netlist.Circuit, k int) (*netlist.Design, error) {
+	mapped, err := MapToK(c, k)
+	if err != nil {
+		return nil, err
+	}
+	return Pack(mapped, k)
+}

@@ -1,0 +1,124 @@
+// Package timing estimates the critical path of a placed-and-routed
+// design under a unit-delay model: each conductor traversed costs one
+// delay unit, each LUT a fixed logic delay. The paper's flow is
+// routability-driven, but wirelength-based delay is the standard
+// quality metric for comparing routings (and for spotting router
+// regressions), so the harness reports it alongside channel width.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/rrg"
+)
+
+// Delays configures the unit-delay model.
+type Delays struct {
+	// PerConductor is the delay of one wire or pin conductor (default 1).
+	PerConductor int
+	// PerLUT is the logic-block delay (default 3, roughly a 6-LUT's
+	// logic depth relative to one wire hop).
+	PerLUT int
+}
+
+func (d Delays) withDefaults() Delays {
+	if d.PerConductor == 0 {
+		d.PerConductor = 1
+	}
+	if d.PerLUT == 0 {
+		d.PerLUT = 3
+	}
+	return d
+}
+
+// Analysis is the result of a timing pass.
+type Analysis struct {
+	// CriticalPath is the largest register-to-register (or pad-to-pad)
+	// delay in the unit model.
+	CriticalPath int
+	// NetDelay[n] is the source-to-farthest-sink delay of net n.
+	NetDelay []int
+	// MaxNet is the net with the largest delay.
+	MaxNet netlist.NetID
+}
+
+// Analyze computes per-net routed delays and the critical path. It
+// fails on combinational cycles (which the simulators reject too).
+func Analyze(d *netlist.Design, res *route.Result, delays Delays) (*Analysis, error) {
+	delays = delays.withDefaults()
+	a := &Analysis{NetDelay: make([]int, len(d.Nets)), MaxNet: netlist.NoNet}
+
+	// Per-net delay: depth of the routing tree in conductors.
+	for ni := range res.Routes {
+		nr := &res.Routes[ni]
+		depth := map[rrg.NodeID]int{nr.Source: 1}
+		max := 0
+		for _, e := range nr.Edges {
+			dep := depth[e.From] + 1
+			depth[e.To] = dep
+			if dep > max {
+				max = dep
+			}
+		}
+		a.NetDelay[ni] = max * delays.PerConductor
+		if a.MaxNet == netlist.NoNet || a.NetDelay[ni] > a.NetDelay[a.MaxNet] {
+			a.MaxNet = netlist.NetID(ni)
+		}
+	}
+
+	// Arrival times through the combinational cones.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	mark := make([]int, len(d.Blocks))
+	arrival := make([]int, len(d.Blocks)) // at block output
+	var visit func(b netlist.BlockID) error
+	visit = func(b netlist.BlockID) error {
+		switch mark[b] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("timing: combinational cycle through block %q", d.Blocks[b].Name)
+		}
+		mark[b] = visiting
+		blk := &d.Blocks[b]
+		in := 0
+		if blk.Kind == netlist.LogicBlock || blk.Kind == netlist.OutputPad {
+			for _, net := range blk.Inputs {
+				if net == netlist.NoNet {
+					continue
+				}
+				drv := d.Nets[net].Driver
+				t := a.NetDelay[net]
+				if src := &d.Blocks[drv]; src.Kind == netlist.LogicBlock && !src.Registered {
+					if err := visit(drv); err != nil {
+						return err
+					}
+					t += arrival[drv]
+				}
+				if t > in {
+					in = t
+				}
+			}
+		}
+		if blk.Kind == netlist.LogicBlock {
+			in += delays.PerLUT
+		}
+		arrival[b] = in
+		mark[b] = done
+		if in > a.CriticalPath {
+			a.CriticalPath = in
+		}
+		return nil
+	}
+	for b := range d.Blocks {
+		if err := visit(netlist.BlockID(b)); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,123 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rrg"
+)
+
+// chainDesign builds inpad -> lb0 -> lb1 -> ... -> outpad.
+func chainDesign(n, k int, registered bool) *netlist.Design {
+	d := &netlist.Design{Name: "chain", K: k}
+	truth := bits.NewVec(1 << uint(k))
+	truth.Set(1, true) // f = x0
+	_, cur := d.AddInputPad("a")
+	for i := 0; i < n; i++ {
+		_, cur = d.AddLogicBlock("lb", []netlist.NetID{cur}, truth, registered)
+	}
+	d.AddOutputPad("z", cur)
+	return d
+}
+
+func routeDesign(t *testing.T, d *netlist.Design, size, w int) *route.Result {
+	t.Helper()
+	pl, err := place.Place(d, arch.GridForSize(size), place.Options{Seed: 1, InnerNum: 1, FastExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := rrg.Build(arch.Params{W: w, K: 6}, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(d, pl, gr, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCombinationalChainAccumulates(t *testing.T) {
+	d := chainDesign(5, 6, false)
+	res := routeDesign(t, d, 4, 8)
+	a, err := Analyze(d, res, Delays{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five LUTs at 3 units each plus at least one conductor per hop.
+	if a.CriticalPath < 5*3+6 {
+		t.Errorf("critical path %d too small for a 5-LUT chain", a.CriticalPath)
+	}
+	if a.MaxNet == netlist.NoNet {
+		t.Error("no max net identified")
+	}
+}
+
+func TestRegistersCutPaths(t *testing.T) {
+	comb := chainDesign(6, 6, false)
+	reg := chainDesign(6, 6, true)
+	resC := routeDesign(t, comb, 4, 8)
+	resR := routeDesign(t, reg, 4, 8)
+	ac, err := Analyze(comb, resC, Delays{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := Analyze(reg, resR, Delays{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.CriticalPath >= ac.CriticalPath {
+		t.Errorf("registered chain path %d should be shorter than combinational %d",
+			ar.CriticalPath, ac.CriticalPath)
+	}
+}
+
+func TestNetDelayPositiveForRoutedNets(t *testing.T) {
+	d := chainDesign(3, 6, false)
+	res := routeDesign(t, d, 4, 8)
+	a, err := Analyze(d, res, Delays{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ni, nd := range a.NetDelay {
+		if len(d.Nets[ni].Sinks) > 0 && nd <= 0 {
+			t.Errorf("net %d has %d sinks but delay %d", ni, len(d.Nets[ni].Sinks), nd)
+		}
+	}
+}
+
+func TestCustomDelays(t *testing.T) {
+	d := chainDesign(2, 6, false)
+	res := routeDesign(t, d, 4, 8)
+	a1, err := Analyze(d, res, Delays{PerConductor: 1, PerLUT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a10, err := Analyze(d, res, Delays{PerConductor: 10, PerLUT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a10.CriticalPath <= a1.CriticalPath {
+		t.Error("raising conductor delay must raise the critical path")
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	d := &netlist.Design{Name: "loop", K: 6}
+	truth := bits.NewVec(64)
+	truth.Set(1, true)
+	// Self-feeding unregistered block.
+	_, aNet := d.AddInputPad("a")
+	id, out := d.AddLogicBlock("x", []netlist.NetID{aNet, netlist.NoNet}, truth, false)
+	d.Blocks[id].Inputs[1] = out
+	d.Nets[out].Sinks = append(d.Nets[out].Sinks, netlist.BlockPin{Block: id, Input: 1})
+	d.AddOutputPad("z", out)
+	res := routeDesign(t, d, 3, 8)
+	if _, err := Analyze(d, res, Delays{}); err == nil {
+		t.Error("combinational loop not detected")
+	}
+}
