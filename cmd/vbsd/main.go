@@ -1,0 +1,90 @@
+// Command vbsd is the run-time configuration management daemon: it
+// owns a pool of simulated fabrics and serves Virtual Bit-Stream
+// operations over an HTTP/JSON API — load (with content-addressed
+// storage, one-time parallel de-virtualization and an LRU cache of
+// decoded bitstreams), unload, on-the-fly relocation, and occupancy /
+// latency / compression statistics.
+//
+//	vbsd -addr :8931 -fabrics 2 -size 32x32 -w 20 -k 6 -cache-mbits 64
+//
+// Endpoints: POST /tasks, GET /tasks, DELETE /tasks/{id},
+// POST /tasks/{id}/relocate, GET /fabrics, GET /stats, GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/controller"
+	"repro/internal/fabric"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8931", "listen address")
+		nFabrics  = flag.Int("fabrics", 2, "number of fabrics in the pool")
+		size      = flag.String("size", "32x32", "fabric dimensions in macros, WxH")
+		w         = flag.Int("w", 20, "channel width of every fabric")
+		k         = flag.Int("k", 6, "LUT size of every fabric")
+		workers   = flag.Int("workers", 0, "de-virtualization workers per decode (0 = GOMAXPROCS)")
+		cacheMbit = flag.Int64("cache-mbits", 64, "decoded-bitstream cache size in megabits (0 = unbounded)")
+		storeMB   = flag.Int("store-mbytes", 256, "content-addressed VBS store size in megabytes (0 = unbounded)")
+	)
+	flag.Parse()
+
+	var gw, gh int
+	if _, err := fmt.Sscanf(*size, "%dx%d", &gw, &gh); err != nil {
+		log.Fatalf("vbsd: bad -size %q: %v", *size, err)
+	}
+	if *nFabrics < 1 {
+		log.Fatalf("vbsd: -fabrics must be >= 1")
+	}
+	p := arch.Params{W: *w, K: *k}
+	ctrls := make([]*controller.Controller, *nFabrics)
+	for i := range ctrls {
+		f, err := fabric.New(p, arch.Grid{Width: gw, Height: gh})
+		if err != nil {
+			log.Fatalf("vbsd: fabric %d: %v", i, err)
+		}
+		ctrls[i] = controller.New(f, *workers)
+	}
+
+	srv, err := server.New(ctrls, server.Options{
+		CacheBits:     *cacheMbit * 1_000_000,
+		StoreBytes:    *storeMB * 1_000_000,
+		DecodeWorkers: *workers,
+	})
+	if err != nil {
+		log.Fatalf("vbsd: %v", err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("vbsd: serving %d %dx%d fabric(s) (W=%d, K=%d) on %s", *nFabrics, gw, gh, *w, *k, *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("vbsd: %v", err)
+	}
+	log.Printf("vbsd: shut down")
+}

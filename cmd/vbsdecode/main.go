@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/arch"
@@ -18,55 +19,66 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "vbsdecode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vbsdecode", flag.ContinueOnError)
 	var (
-		inPath  = flag.String("in", "", "input VBS file")
-		outPath = flag.String("o", "", "output raw bitstream file (optional)")
-		x       = flag.Int("x", 0, "task west column on the fabric")
-		y       = flag.Int("y", 0, "task south row on the fabric")
-		size    = flag.String("fabric", "", "fabric WxH in macros (default: the task's own size)")
+		inPath  = fs.String("in", "", "input VBS file")
+		outPath = fs.String("o", "", "output raw bitstream file (optional)")
+		x       = fs.Int("x", 0, "task west column on the fabric")
+		y       = fs.Int("y", 0, "task south row on the fabric")
+		size    = fs.String("fabric", "", "fabric WxH in macros (default: the task's own size)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *inPath == "" {
-		fmt.Fprintln(os.Stderr, "vbsdecode: -in required")
-		os.Exit(2)
+		return fmt.Errorf("-in required")
 	}
 
 	data, err := os.ReadFile(*inPath)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	v, err := core.Parse(data)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	grid := arch.Grid{Width: v.TaskW, Height: v.TaskH}
 	if *size != "" {
 		if _, err := fmt.Sscanf(*size, "%dx%d", &grid.Width, &grid.Height); err != nil {
-			fail(fmt.Errorf("bad -fabric %q: %w", *size, err))
+			return fmt.Errorf("bad -fabric %q: %w", *size, err)
 		}
 	}
 
 	target := bitstream.New(v.P, grid)
 	if err := v.DecodeInto(target, *x, *y); err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Printf("task    : %dx%d macros, W=%d, K=%d, cluster %d\n",
+	fmt.Fprintf(stdout, "task    : %dx%d macros, W=%d, K=%d, cluster %d\n",
 		v.TaskW, v.TaskH, v.P.W, v.P.K, v.Cluster)
-	fmt.Printf("entries : %d regions (%d raw fallback)\n", len(v.Entries), countRaw(v))
-	fmt.Printf("VBS     : %s; raw equivalent %s (%s)\n",
+	fmt.Fprintf(stdout, "entries : %d regions (%d raw fallback)\n", len(v.Entries), countRaw(v))
+	fmt.Fprintf(stdout, "VBS     : %s; raw equivalent %s (%s)\n",
 		report.Bits(v.Size()), report.Bits(v.RawSizeBits()),
 		report.Percent(v.CompressionRatio()))
-	fmt.Printf("decoded : at (%d,%d) on %dx%d fabric\n", *x, *y, grid.Width, grid.Height)
+	fmt.Fprintf(stdout, "decoded : at (%d,%d) on %dx%d fabric\n", *x, *y, grid.Width, grid.Height)
 
 	if *outPath != "" {
 		out := target.Encode()
 		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("wrote   : %s (%d bytes)\n", *outPath, len(out))
+		fmt.Fprintf(stdout, "wrote   : %s (%d bytes)\n", *outPath, len(out))
 	}
+	return nil
 }
 
 func countRaw(v *core.VBS) int {
@@ -77,9 +89,4 @@ func countRaw(v *core.VBS) int {
 		}
 	}
 	return n
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "vbsdecode: %v\n", err)
-	os.Exit(1)
 }

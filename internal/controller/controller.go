@@ -3,6 +3,17 @@
 // — in parallel, macro by macro, as the paper's architecture sketch
 // shows — places them on the fabric at load time, and supports
 // unloading and on-the-fly relocation (Section V).
+//
+// De-virtualization is split from placement so callers can cache its
+// result: DecodeVBS produces a Decoded, a position-independent bundle
+// of region configurations that can be written to any free slot of any
+// compatible fabric, any number of times. The vbsd daemon's LRU cache
+// of Decoded values is what lets repeated loads of the same task skip
+// the decode entirely.
+//
+// All exported Controller methods are safe for concurrent use; a
+// single mutex serializes fabric mutations, which is the per-fabric
+// request serialization the runtime daemon relies on.
 package controller
 
 import (
@@ -10,18 +21,109 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/fabric"
 )
 
-// Controller manages tasks on one fabric.
+// Decoded is a de-virtualized Virtual Bit-Stream: the per-entry member
+// configurations produced by the parallel decoder, still abstracted
+// from any fabric position. A Decoded is immutable after creation and
+// may be shared freely — loading only reads it — so it is the unit the
+// daemon's decoded-bitstream cache stores.
+type Decoded struct {
+	// VBS is the source container.
+	VBS *core.VBS
+	// cfgs is indexed like VBS.Entries; each element holds the
+	// region's member configurations in row-major member order.
+	cfgs [][]*arch.MacroConfig
+}
+
+// SizeBits returns the footprint of the decoded configurations (the
+// raw bits a load writes), used for cache accounting.
+func (d *Decoded) SizeBits() int {
+	n := 0
+	for _, regs := range d.cfgs {
+		for range regs {
+			n += d.VBS.P.NRaw()
+		}
+	}
+	return n
+}
+
+// DecodeVBS de-virtualizes every entry of the VBS concurrently with
+// the given worker count (0 selects GOMAXPROCS). Each region decodes
+// independently (the property Section II-C calls out), so the work
+// distributes over the workers; the result is deterministic regardless
+// of worker count. DecodeVBS needs no fabric: it is the cache-friendly
+// entry point shared by every controller.
+func DecodeVBS(v *core.VBS, workers int) (*Decoded, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(v.Entries)
+	cfgs := make([][]*arch.MacroConfig, n)
+	if n == 0 {
+		return &Decoded{VBS: v, cfgs: cfgs}, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := v.DecodeEntry(i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("controller: entry %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				cfgs[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Decoded{VBS: v, cfgs: cfgs}, nil
+}
+
+// Controller manages tasks on one fabric. All exported methods are
+// safe for concurrent use.
 type Controller struct {
+	mu      sync.Mutex
 	fab     *fabric.Fabric
 	workers int
 	tasks   map[fabric.TaskID]*Task
 	nextID  fabric.TaskID
+
+	loads       atomic.Uint64
+	unloads     atomic.Uint64
+	relocations atomic.Uint64
+	decodes     atomic.Uint64
+	decodeNanos atomic.Int64
 }
 
 // Task records a loaded hardware task.
@@ -29,6 +131,30 @@ type Task struct {
 	ID   fabric.TaskID
 	VBS  *core.VBS
 	X, Y int
+
+	// dec keeps the decoded configurations so relocation never
+	// re-decodes (the paper's on-the-fly migration path, made O(write)).
+	dec *Decoded
+}
+
+// Stats is a snapshot of one controller's counters and occupancy.
+type Stats struct {
+	// Tasks is the number of loaded tasks.
+	Tasks int `json:"tasks"`
+	// FreeMacros and TotalMacros describe fabric occupancy; Occupancy
+	// is the owned fraction in [0, 1].
+	FreeMacros  int     `json:"free_macros"`
+	TotalMacros int     `json:"total_macros"`
+	Occupancy   float64 `json:"occupancy"`
+	// Loads, Unloads, Relocations count successful operations.
+	Loads       uint64 `json:"loads"`
+	Unloads     uint64 `json:"unloads"`
+	Relocations uint64 `json:"relocations"`
+	// Decodes counts full VBS de-virtualizations performed by this
+	// controller (cache hits upstream never reach this counter).
+	Decodes uint64 `json:"decodes"`
+	// DecodeTime is the cumulative wall time spent decoding.
+	DecodeTime time.Duration `json:"decode_ns"`
 }
 
 // New returns a controller decoding with the given worker count
@@ -40,36 +166,95 @@ func New(f *fabric.Fabric, workers int) *Controller {
 	return &Controller{fab: f, workers: workers, tasks: make(map[fabric.TaskID]*Task)}
 }
 
-// Fabric returns the managed fabric.
+// Fabric returns the managed fabric. Callers touching the fabric
+// directly while the controller is in concurrent use must provide
+// their own synchronization.
 func (c *Controller) Fabric() *fabric.Fabric { return c.fab }
 
 // Tasks returns the number of loaded tasks.
-func (c *Controller) Tasks() int { return len(c.tasks) }
+func (c *Controller) Tasks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tasks)
+}
 
 // Task returns a loaded task by id.
 func (c *Controller) Task(id fabric.TaskID) (*Task, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := c.tasks[id]
 	return t, ok
 }
 
-// Load places the task at the first position where it fits without
-// seam conflicts and returns its id and position.
-func (c *Controller) Load(v *core.VBS) (*Task, error) {
-	if err := v.Validate(); err != nil {
+// Stats returns a consistent snapshot of counters and occupancy.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	tasks := len(c.tasks)
+	used := c.fab.UsedMacros()
+	occ := c.fab.Occupancy()
+	total := c.fab.Grid().NumMacros()
+	c.mu.Unlock()
+	return Stats{
+		Tasks:       tasks,
+		FreeMacros:  total - used,
+		TotalMacros: total,
+		Occupancy:   occ,
+		Loads:       c.loads.Load(),
+		Unloads:     c.unloads.Load(),
+		Relocations: c.relocations.Load(),
+		Decodes:     c.decodes.Load(),
+		DecodeTime:  time.Duration(c.decodeNanos.Load()),
+	}
+}
+
+// Decode de-virtualizes a VBS with this controller's worker pool,
+// updating the decode counters. The result is fabric-independent.
+func (c *Controller) Decode(v *core.VBS) (*Decoded, error) {
+	start := time.Now()
+	d, err := DecodeVBS(v, c.workers)
+	if err != nil {
 		return nil, err
 	}
-	if v.P != c.fab.Params() {
-		return nil, fmt.Errorf("controller: task architecture %v, fabric %v", v.P, c.fab.Params())
+	c.decodes.Add(1)
+	c.decodeNanos.Add(int64(time.Since(start)))
+	return d, nil
+}
+
+// Load decodes the task and places it at the first position where it
+// fits without seam conflicts, returning its id and position.
+func (c *Controller) Load(v *core.VBS) (*Task, error) {
+	d, err := c.Decode(v)
+	if err != nil {
+		return nil, err
 	}
-	// Try successive free slots; a slot may be rejected by seam
-	// analysis when an abutting task drives the same boundary wires.
+	return c.LoadDecoded(d)
+}
+
+// LoadAt decodes the task and places it at an explicit position.
+func (c *Controller) LoadAt(v *core.VBS, x0, y0 int) (*Task, error) {
+	d, err := c.Decode(v)
+	if err != nil {
+		return nil, err
+	}
+	return c.LoadDecodedAt(d, x0, y0)
+}
+
+// LoadDecoded places an already-decoded task at the first conflict-free
+// position. This is the cache-hit load path: no de-virtualization runs.
+func (c *Controller) LoadDecoded(d *Decoded) (*Task, error) {
+	if err := c.checkArch(d.VBS); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := d.VBS
 	g := c.fab.Grid()
 	for y := 0; y+v.TaskH <= g.Height; y++ {
 		for x := 0; x+v.TaskW <= g.Width; x++ {
 			if c.fab.OwnerAt(x, y) != fabric.NoTask {
 				continue
 			}
-			t, err := c.LoadAt(v, x, y)
+			t, err := c.loadDecodedAtLocked(d, x, y)
 			if err == nil {
 				return t, nil
 			}
@@ -78,73 +263,104 @@ func (c *Controller) Load(v *core.VBS) (*Task, error) {
 	return nil, fmt.Errorf("controller: no conflict-free slot for %dx%d task", v.TaskW, v.TaskH)
 }
 
-// LoadAt places the task at an explicit position.
-func (c *Controller) LoadAt(v *core.VBS, x0, y0 int) (*Task, error) {
-	if v.P != c.fab.Params() {
-		return nil, fmt.Errorf("controller: task architecture %v, fabric %v", v.P, c.fab.Params())
+// LoadDecodedAt places an already-decoded task at an explicit position.
+func (c *Controller) LoadDecodedAt(d *Decoded, x0, y0 int) (*Task, error) {
+	if err := c.checkArch(d.VBS); err != nil {
+		return nil, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loadDecodedAtLocked(d, x0, y0)
+}
+
+func (c *Controller) checkArch(v *core.VBS) error {
+	if v.P != c.fab.Params() {
+		return fmt.Errorf("controller: task architecture %v, fabric %v", v.P, c.fab.Params())
+	}
+	return nil
+}
+
+func (c *Controller) loadDecodedAtLocked(d *Decoded, x0, y0 int) (*Task, error) {
+	v := d.VBS
 	id := c.nextID
 	if err := c.fab.Allocate(id, x0, y0, v.TaskW, v.TaskH); err != nil {
 		return nil, err
 	}
-	if err := c.writeTask(v, x0, y0); err != nil {
-		c.fab.Release(id)
-		return nil, err
-	}
+	c.writeDecoded(d, x0, y0)
 	if conflicts := c.fab.SeamConflicts(x0, y0, v.TaskW, v.TaskH); len(conflicts) > 0 {
 		c.fab.Release(id)
 		return nil, fmt.Errorf("controller: seam conflicts at (%d,%d): %s", x0, y0, conflicts[0])
 	}
 	c.nextID++
-	t := &Task{ID: id, VBS: v, X: x0, Y: y0}
+	t := &Task{ID: id, VBS: v, X: x0, Y: y0, dec: d}
 	c.tasks[id] = t
+	c.loads.Add(1)
 	return t, nil
 }
 
 // Unload removes a task and clears its fabric region.
 func (c *Controller) Unload(id fabric.TaskID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tasks[id]; !ok {
 		return fmt.Errorf("controller: task %d not loaded", id)
 	}
 	c.fab.Release(id)
 	delete(c.tasks, id)
+	c.unloads.Add(1)
 	return nil
 }
 
-// Relocate moves a loaded task to a new position by re-decoding its
-// VBS there — the on-the-fly migration path of Section V. The old
-// region is released first, so a task may relocate into overlapping
-// free space.
+// Relocate moves a loaded task to a new position — the on-the-fly
+// migration path of Section V. The task's cached decode is rewritten
+// at the new position, so no de-virtualization runs. The old region is
+// released first, so a task may relocate into overlapping free space.
 func (c *Controller) Relocate(id fabric.TaskID, x0, y0 int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.relocateLocked(id, x0, y0)
+}
+
+func (c *Controller) relocateLocked(id fabric.TaskID, x0, y0 int) error {
 	t, ok := c.tasks[id]
 	if !ok {
 		return fmt.Errorf("controller: task %d not loaded", id)
 	}
 	oldX, oldY := t.X, t.Y
-	c.fab.Release(id)
-	if err := c.fab.Allocate(id, x0, y0, t.VBS.TaskW, t.VBS.TaskH); err != nil {
-		// Restore at the old position; the VBS makes this loss-free.
+	restore := func(err error) error {
+		// Restore at the old position; the cached decode makes this
+		// loss-free.
 		if err2 := c.fab.Allocate(id, oldX, oldY, t.VBS.TaskW, t.VBS.TaskH); err2 != nil {
 			return fmt.Errorf("controller: relocation failed and restore impossible: %v / %v", err, err2)
 		}
-		if err2 := c.writeTask(t.VBS, oldX, oldY); err2 != nil {
-			return fmt.Errorf("controller: restore decode failed: %v", err2)
-		}
+		c.writeDecoded(t.dec, oldX, oldY)
 		return err
 	}
-	if err := c.writeTask(t.VBS, x0, y0); err != nil {
-		return err
+	c.fab.Release(id)
+	if err := c.fab.Allocate(id, x0, y0, t.VBS.TaskW, t.VBS.TaskH); err != nil {
+		return restore(err)
+	}
+	c.writeDecoded(t.dec, x0, y0)
+	// The load path refuses seam-conflicting placements; relocation
+	// must apply the same analysis or a move could electrically
+	// corrupt an abutting task.
+	if conflicts := c.fab.SeamConflicts(x0, y0, t.VBS.TaskW, t.VBS.TaskH); len(conflicts) > 0 {
+		c.fab.Release(id)
+		return restore(fmt.Errorf("controller: seam conflicts at (%d,%d): %s", x0, y0, conflicts[0]))
 	}
 	t.X, t.Y = x0, y0
+	c.relocations.Add(1)
 	return nil
 }
 
 // Compact defragments the fabric: tasks are relocated one by one to
 // the first-fit position scanning from the origin, coalescing free
-// space. Because every task is loaded from a position-free VBS, this
-// is a pure runtime operation — the paper's motivating scenario for
+// space. Because every task keeps its position-free decode, this is a
+// pure runtime operation — the paper's motivating scenario for
 // relocation. It returns the number of tasks moved.
 func (c *Controller) Compact() (moved int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Deterministic order: by current position, row-major.
 	ids := make([]fabric.TaskID, 0, len(c.tasks))
 	for id := range c.tasks {
@@ -173,7 +389,7 @@ func (c *Controller) Compact() (moved int, err error) {
 				if x == t.X && y == t.Y {
 					continue
 				}
-				if err := c.Relocate(id, x, y); err == nil {
+				if err := c.relocateLocked(id, x, y); err == nil {
 					moved++
 					break scan
 				}
@@ -183,73 +399,34 @@ func (c *Controller) Compact() (moved int, err error) {
 	return moved, nil
 }
 
-// writeTask de-virtualizes the VBS into the fabric configuration at
-// (x0, y0), decoding entries in parallel across the worker pool.
-func (c *Controller) writeTask(v *core.VBS, x0, y0 int) error {
-	cfgs, err := c.DecodeParallel(v)
-	if err != nil {
-		return err
-	}
+// writeDecoded writes a position-free decode into the fabric
+// configuration at (x0, y0). It only reads the Decoded, so one Decoded
+// may serve many concurrent loads across fabrics. Callers hold c.mu.
+func (c *Controller) writeDecoded(d *Decoded, x0, y0 int) {
+	v := d.VBS
 	raw := c.fab.Config()
 	for i := range v.Entries {
 		e := &v.Entries[i]
 		cw, _ := v.RegionDims(e.X, e.Y)
 		baseX := x0 + e.X*v.Cluster
 		baseY := y0 + e.Y*v.Cluster
-		for m, cfg := range cfgs[i] {
+		for m, cfg := range d.cfgs[i] {
 			mi, mj := m%cw, m/cw
 			raw.At(baseX+mi, baseY+mj).Vec().Or(cfg.Vec())
 		}
 	}
-	return nil
 }
 
-// DecodeParallel de-virtualizes every entry of the VBS concurrently:
-// each region decodes independently (the property Section II-C calls
-// out), so the work distributes over the controller's workers. The
-// result is indexed like v.Entries; it is deterministic regardless of
-// worker count.
+// DecodeParallel de-virtualizes every entry of the VBS concurrently
+// and returns the raw per-entry configurations, indexed like
+// v.Entries.
+//
+// Deprecated: use Decode (or the package-level DecodeVBS) which wraps
+// the result in a reusable Decoded.
 func (c *Controller) DecodeParallel(v *core.VBS) ([][]*arch.MacroConfig, error) {
-	n := len(v.Entries)
-	out := make([][]*arch.MacroConfig, n)
-	if n == 0 {
-		return out, nil
+	d, err := c.Decode(v)
+	if err != nil {
+		return nil, err
 	}
-	workers := c.workers
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				cfgs, err := v.DecodeEntry(i)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("controller: entry %d: %w", i, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				out[i] = cfgs
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return d.cfgs, nil
 }

@@ -2,11 +2,13 @@ package controller
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/bits"
 	"repro/internal/core"
+	"repro/internal/devirt"
 	"repro/internal/fabric"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -256,9 +258,110 @@ func BenchmarkParallelDecode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.DecodeParallel(v); err != nil {
+		if _, err := c.Decode(v); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestLoadDecodedSkipsDecode: the cache-hit path must not touch the
+// decode counters, and a shared Decoded must load on several fabrics.
+func TestLoadDecodedSkipsDecode(t *testing.T) {
+	v := makeTask(t, 12, 10, 4, 8, 1)
+	d, err := DecodeVBS(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SizeBits() == 0 {
+		t.Error("SizeBits = 0")
+	}
+	ref, err := v.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := 0; fi < 2; fi++ {
+		c := newController(t, 16, 16, 8, 2)
+		task, err := c.LoadDecodedAt(d, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < v.TaskW; x++ {
+			for y := 0; y < v.TaskH; y++ {
+				if !c.Fabric().Config().At(1+x, 2+y).Vec().Equal(ref.At(x, y).Vec()) {
+					t.Fatalf("fabric %d: macro (%d,%d) differs from reference", fi, x, y)
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Decodes != 0 {
+			t.Errorf("fabric %d: Decodes = %d after decoded load", fi, st.Decodes)
+		}
+		if st.Loads != 1 || st.Tasks != 1 {
+			t.Errorf("fabric %d: Loads = %d, Tasks = %d", fi, st.Loads, st.Tasks)
+		}
+		_ = task
+	}
+}
+
+// TestRelocateReusesDecode: relocation must not re-decode.
+func TestRelocateReusesDecode(t *testing.T) {
+	v := makeTask(t, 13, 10, 4, 8, 1)
+	c := newController(t, 20, 20, 8, 2)
+	task, err := c.LoadAt(v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Decodes; got != 1 {
+		t.Fatalf("Decodes = %d after load", got)
+	}
+	if err := c.Relocate(task.ID, 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Decodes != 1 {
+		t.Errorf("Decodes = %d after relocation, want 1", st.Decodes)
+	}
+	if st.Relocations != 1 {
+		t.Errorf("Relocations = %d", st.Relocations)
+	}
+}
+
+// TestConcurrentOps hammers one controller from many goroutines; run
+// with -race. Each goroutine loads, relocates and unloads its own
+// pre-decoded task.
+func TestConcurrentOps(t *testing.T) {
+	const clients = 8
+	decs := make([]*Decoded, clients)
+	for i := range decs {
+		v := makeTask(t, int64(40+i%3), 8, 4, 8, 1)
+		d, err := DecodeVBS(v, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs[i] = d
+	}
+	c := newController(t, 32, 32, 8, 2)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(d *Decoded) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				task, err := c.LoadDecoded(d)
+				if err != nil {
+					continue // fabric momentarily full
+				}
+				_, _ = c.Compact()
+				_ = c.Unload(task.ID)
+			}
+		}(decs[i])
+	}
+	wg.Wait()
+	if c.Tasks() != 0 {
+		t.Errorf("Tasks = %d after all unloads", c.Tasks())
+	}
+	if free := c.Fabric().FreeMacros(); free != 32*32 {
+		t.Errorf("FreeMacros = %d", free)
 	}
 }
 
@@ -318,4 +421,67 @@ func TestCompactIdempotent(t *testing.T) {
 	if moved != 0 {
 		t.Errorf("second Compact moved %d tasks", moved)
 	}
+}
+
+// seamTask hand-builds a 1x1-macro VBS whose single connection routes
+// a west boundary wire to an east boundary wire, so two adjacent
+// copies contend for the shared channel wire between them.
+func seamTask(t *testing.T) *core.VBS {
+	t.Helper()
+	p := arch.Params{W: 8, K: 6}
+	r := devirt.Region{P: p, Nominal: 1, CW: 1, CH: 1}
+	v := &core.VBS{
+		P: p, Cluster: 1, TaskW: 1, TaskH: 1,
+		Entries: []core.Entry{{
+			Conns: []core.Conn{{In: r.CodeWest(0, 0), Out: r.CodeEast(0, 0)}},
+		}},
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestRelocateRejectsSeamConflict: relocation must apply the same
+// seam analysis as loading, and restore the task when it fails.
+func TestRelocateRejectsSeamConflict(t *testing.T) {
+	v := seamTask(t)
+	f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 6, Height: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(f, 1)
+	a, err := c.LoadAt(v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.LoadAt(v, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading directly adjacent is refused by the load path...
+	if _, err := c.LoadAt(v, 1, 0); err == nil {
+		t.Fatal("adjacent conflicting load accepted")
+	}
+	// ...so relocation there must be refused too, with B restored.
+	if err := c.Relocate(b.ID, 1, 0); err == nil {
+		t.Fatal("relocation into seam conflict accepted")
+	}
+	if b.X != 3 || b.Y != 0 {
+		t.Errorf("task moved to (%d,%d) despite seam conflict", b.X, b.Y)
+	}
+	if c.Fabric().OwnerAt(3, 0) != b.ID {
+		t.Error("task region not restored")
+	}
+	if c.Fabric().Config().At(3, 0).Vec().OnesCount() == 0 {
+		t.Error("configuration not restored after refused relocation")
+	}
+	if got := c.Stats().Relocations; got != 0 {
+		t.Errorf("Relocations = %d after refused move", got)
+	}
+	// A harmless move still works.
+	if err := c.Relocate(b.ID, 5, 0); err != nil {
+		t.Fatalf("conflict-free relocation refused: %v", err)
+	}
+	_ = a
 }

@@ -50,6 +50,27 @@ func (v *VBS) DecodeInto(target *bitstream.Raw, x0, y0 int) error {
 	return nil
 }
 
+// Warm pre-builds the de-virtualization routing graphs for every
+// distinct region shape this VBS decodes through (at most four: the
+// nominal cluster and its edge truncations). A runtime manager calls
+// this when a VBS is admitted to its store so the first load does not
+// pay graph construction.
+func (v *VBS) Warm() error {
+	seen := make(map[devirt.Region]bool)
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		r := v.Region(e.X, e.Y)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if err := devirt.Warm(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DecodeEntry decodes one entry in isolation and returns the
 // region's member configurations (row-major, actual members only).
 // This is the unit of work the parallel controller distributes.

@@ -305,6 +305,19 @@ type regionGraph struct {
 
 var graphCache sync.Map // Region -> *regionGraph
 
+// Warm pre-builds and caches the routing graph for a region shape, so
+// the first decode touching that shape does not pay graph
+// construction. Long-running managers call this when a VBS is stored,
+// off the load critical path. Warming is idempotent and safe for
+// concurrent use.
+func Warm(r Region) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	graphFor(r)
+	return nil
+}
+
 func graphFor(r Region) *regionGraph {
 	if g, ok := graphCache.Load(r); ok {
 		return g.(*regionGraph)

@@ -468,3 +468,20 @@ func BenchmarkRouteCluster4(b *testing.B) {
 		}
 	}
 }
+
+func TestWarm(t *testing.T) {
+	r := Region{P: arch.Default(), Nominal: 2, CW: 2, CH: 1}
+	if err := Warm(r); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent, and the warmed graph must be the one routers use.
+	if err := Warm(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRouter(r, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Warm(Region{Nominal: 0}); err == nil {
+		t.Error("invalid region warmed")
+	}
+}

@@ -144,6 +144,15 @@ func (f *Fabric) FreeMacros() int {
 	return n
 }
 
+// UsedMacros returns the number of task-owned macros.
+func (f *Fabric) UsedMacros() int { return f.g.NumMacros() - f.FreeMacros() }
+
+// Occupancy returns the owned fraction of the fabric in [0, 1] — the
+// figure a runtime manager balances placement decisions on.
+func (f *Fabric) Occupancy() float64 {
+	return float64(f.UsedMacros()) / float64(f.g.NumMacros())
+}
+
 // condUsed reports whether the configuration of macro (x, y) has any
 // on switch touching local conductor c.
 func (f *Fabric) condUsed(x, y int, c arch.Cond) bool {

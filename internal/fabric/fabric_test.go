@@ -175,3 +175,26 @@ func TestSeamVertical(t *testing.T) {
 		t.Errorf("south seam conflicts = %v", cs)
 	}
 }
+
+func TestOccupancyHelpers(t *testing.T) {
+	f := newFabric(t)
+	if f.UsedMacros() != 0 || f.Occupancy() != 0 {
+		t.Fatal("blank fabric reports ownership")
+	}
+	if err := f.Allocate(3, 0, 0, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Allocate(1, 4, 4, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.UsedMacros(); got != 12 {
+		t.Errorf("UsedMacros = %d", got)
+	}
+	if got := f.Occupancy(); got != 12.0/64.0 {
+		t.Errorf("Occupancy = %v", got)
+	}
+	f.Release(3)
+	if got := f.UsedMacros(); got != 4 {
+		t.Errorf("UsedMacros after release = %d", got)
+	}
+}

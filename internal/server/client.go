@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Client is a thin Go client for the vbsd HTTP API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://localhost:8931").
+// httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// apiError is a non-2xx reply surfaced to the caller.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var er errorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Load submits a VBS container for placement. fabric/x/y follow
+// LoadRequest semantics (nil = daemon's choice).
+func (c *Client) Load(container []byte, fabric, x, y *int) (LoadResponse, error) {
+	req := LoadRequest{
+		VBS:    base64.StdEncoding.EncodeToString(container),
+		Fabric: fabric,
+		X:      x,
+		Y:      y,
+	}
+	var out LoadResponse
+	err := c.do(http.MethodPost, "/tasks", req, &out)
+	return out, err
+}
+
+// LoadVBS encodes and submits a parsed VBS.
+func (c *Client) LoadVBS(v *core.VBS) (LoadResponse, error) {
+	data, err := v.Encode()
+	if err != nil {
+		return LoadResponse{}, err
+	}
+	return c.Load(data, nil, nil, nil)
+}
+
+// Unload removes a loaded task.
+func (c *Client) Unload(id int64) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/tasks/%d", id), nil, nil)
+}
+
+// Relocate moves a loaded task on its fabric.
+func (c *Client) Relocate(id int64, x, y int) (TaskInfo, error) {
+	var out TaskInfo
+	err := c.do(http.MethodPost, fmt.Sprintf("/tasks/%d/relocate", id),
+		RelocateRequest{X: x, Y: y}, &out)
+	return out, err
+}
+
+// Tasks lists loaded tasks.
+func (c *Client) Tasks() ([]TaskInfo, error) {
+	var out []TaskInfo
+	err := c.do(http.MethodGet, "/tasks", nil, &out)
+	return out, err
+}
+
+// Fabrics describes the daemon's fabric pool.
+func (c *Client) Fabrics() ([]FabricInfo, error) {
+	var out []FabricInfo
+	err := c.do(http.MethodGet, "/fabrics", nil, &out)
+	return out, err
+}
+
+// Stats fetches the daemon-wide counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(http.MethodGet, "/stats", nil, &out)
+	return out, err
+}

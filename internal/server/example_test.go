@@ -1,0 +1,54 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+// Example_clientServer shows the end-to-end vbsd path: compile a task
+// to a Virtual Bit-Stream, start a daemon over a two-fabric pool, load
+// the task twice — the second load is served from the decoded-
+// bitstream cache — relocate it, and read the daemon's counters.
+func Example_clientServer() {
+	srv, err := server.New(newPool(2, 16), server.Options{})
+	if err != nil {
+		panic(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	cl := server.NewClient(hs.URL, hs.Client())
+
+	container, err := makeVBS(7, 10, 4, 8, 1).Encode()
+	if err != nil {
+		panic(err)
+	}
+
+	first, err := cl.Load(container, nil, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	second, err := cl.Load(container, nil, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first load cached: %v\n", first.Cached)
+	fmt.Printf("second load cached: %v\n", second.Cached)
+
+	if _, err := cl.Relocate(second.ID, 9, 9); err != nil {
+		panic(err)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decodes: %d\n", st.Decodes)
+	fmt.Printf("tasks loaded: %d on %d fabrics\n", st.Tasks, len(st.Fabrics))
+	// Output:
+	// first load cached: false
+	// second load cached: true
+	// decodes: 1
+	// tasks loaded: 2 on 2 fabrics
+}

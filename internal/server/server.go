@@ -1,0 +1,406 @@
+// Package server implements vbsd, the run-time configuration
+// management daemon: an HTTP/JSON front end over a pool of simulated
+// fabrics, each driven by the Section II-C reconfiguration controller.
+//
+// The daemon turns the paper's single-caller runtime manager into a
+// service. Clients POST Virtual Bit-Stream containers; the daemon
+// stores them content-addressed (identical tasks deduplicate), decodes
+// them once through the parallel de-virtualization workers, keeps
+// decoded bitstreams in a size-bounded LRU so repeated loads skip the
+// decode entirely, and serializes mutations per fabric so any number
+// of concurrent clients can load, unload and relocate safely.
+//
+// # API
+//
+//	POST   /tasks                {"vbs": base64, "fabric"?, "x"?, "y"?}
+//	GET    /tasks                list loaded tasks
+//	DELETE /tasks/{id}           unload
+//	POST   /tasks/{id}/relocate  {"x":, "y":}
+//	GET    /fabrics              pool occupancy
+//	GET    /stats                counters, cache and latency figures
+//	GET    /healthz              liveness probe
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/fabric"
+	"repro/internal/server/store"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// CacheBits bounds the decoded-bitstream LRU by total raw bits
+	// (0 = unbounded; a decoded task costs TaskW*TaskH*NRaw-ish bits).
+	CacheBits int64
+	// StoreBytes bounds the content-addressed VBS store by container
+	// bytes, evicting least-recently-used entries (0 = unbounded).
+	// Eviction only costs deduplication of future loads.
+	StoreBytes int
+	// DecodeWorkers sets the de-virtualization worker count per decode
+	// (0 = GOMAXPROCS).
+	DecodeWorkers int
+}
+
+// Server manages a pool of fabrics behind the HTTP API. Create one
+// with New and expose Handler on an http.Server.
+type Server struct {
+	ctrls   []*controller.Controller
+	store   *store.Store
+	cache   *store.Cache[*controller.Decoded]
+	flight  *store.Flight[*controller.Decoded]
+	workers int
+	start   time.Time
+
+	mu     sync.Mutex
+	tasks  map[int64]*task
+	nextID int64
+
+	decodes   atomic.Uint64
+	loadCount atomic.Uint64
+	loadNanos atomic.Int64
+	loadMax   atomic.Int64
+}
+
+// task maps a server task id to its fabric-level identity.
+type task struct {
+	id     int64
+	fabric int
+	fid    fabric.TaskID
+	digest store.Digest
+}
+
+// New returns a daemon over the given fabric pool. At least one
+// controller is required; all fabrics may differ in size but share
+// the pool.
+func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
+	if len(ctrls) == 0 {
+		return nil, fmt.Errorf("server: empty fabric pool")
+	}
+	return &Server{
+		ctrls: ctrls,
+		store: store.NewBounded(opts.StoreBytes),
+		cache: store.NewCache[*controller.Decoded](opts.CacheBits,
+			func(d *controller.Decoded) int64 { return int64(d.SizeBits()) }),
+		flight:  store.NewFlight[*controller.Decoded](),
+		workers: opts.DecodeWorkers,
+		start:   time.Now(),
+		tasks:   make(map[int64]*task),
+	}, nil
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tasks", s.handleLoad)
+	mux.HandleFunc("GET /tasks", s.handleListTasks)
+	mux.HandleFunc("DELETE /tasks/{id}", s.handleUnload)
+	mux.HandleFunc("POST /tasks/{id}/relocate", s.handleRelocate)
+	mux.HandleFunc("GET /fabrics", s.handleFabrics)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// getOrDecode returns the decoded form of a stored VBS, consulting the
+// LRU first and collapsing concurrent decodes of the same digest.
+func (s *Server) getOrDecode(ent *store.Entry) (dec *controller.Decoded, cached bool, err error) {
+	if d, ok := s.cache.Get(ent.Digest); ok {
+		return d, true, nil
+	}
+	d, err, shared := s.flight.Do(ent.Digest, func() (*controller.Decoded, error) {
+		d, err := controller.DecodeVBS(ent.VBS, s.workers)
+		if err != nil {
+			return nil, err
+		}
+		s.decodes.Add(1)
+		s.cache.Put(ent.Digest, d)
+		return d, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	// A piggybacked caller shared another request's decode: from this
+	// request's point of view that is a cache hit in all but name.
+	return d, shared, nil
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	var req LoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.X == nil) != (req.Y == nil) {
+		writeError(w, http.StatusBadRequest, "x and y must be given together")
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.VBS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
+		return
+	}
+	ent, _, err := s.store.Put(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vbs container: %v", err)
+		return
+	}
+	dec, cached, err := s.getOrDecode(ent)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "decode failed: %v", err)
+		return
+	}
+
+	candidates, err := s.candidateFabrics(req.Fabric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var (
+		placed  *controller.Task
+		onIndex int
+		lastErr error
+	)
+	for _, fi := range candidates {
+		c := s.ctrls[fi]
+		var t *controller.Task
+		if req.X != nil {
+			t, err = c.LoadDecodedAt(dec, *req.X, *req.Y)
+		} else {
+			t, err = c.LoadDecoded(dec)
+		}
+		if err == nil {
+			placed, onIndex = t, fi
+			break
+		}
+		lastErr = err
+	}
+	if placed == nil {
+		writeError(w, http.StatusConflict, "no fabric accepted the task: %v", lastErr)
+		return
+	}
+
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.tasks[id] = &task{id: id, fabric: onIndex, fid: placed.ID, digest: ent.Digest}
+	s.mu.Unlock()
+
+	elapsed := time.Since(begin)
+	s.loadCount.Add(1)
+	s.loadNanos.Add(int64(elapsed))
+	for {
+		cur := s.loadMax.Load()
+		if int64(elapsed) <= cur || s.loadMax.CompareAndSwap(cur, int64(elapsed)) {
+			break
+		}
+	}
+
+	writeJSON(w, http.StatusCreated, LoadResponse{
+		ID:               id,
+		Fabric:           onIndex,
+		X:                placed.X,
+		Y:                placed.Y,
+		Digest:           ent.Digest.String(),
+		TaskW:            ent.VBS.TaskW,
+		TaskH:            ent.VBS.TaskH,
+		Cached:           cached,
+		CompressionRatio: ent.VBS.CompressionRatio(),
+		LoadMS:           float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// candidateFabrics returns fabric indices in placement-preference
+// order: the pinned fabric alone, or every fabric sorted emptiest
+// first so the pool stays balanced.
+func (s *Server) candidateFabrics(pinned *int) ([]int, error) {
+	if pinned != nil {
+		if *pinned < 0 || *pinned >= len(s.ctrls) {
+			return nil, fmt.Errorf("fabric %d out of range [0,%d)", *pinned, len(s.ctrls))
+		}
+		return []int{*pinned}, nil
+	}
+	type cand struct{ idx, free int }
+	cands := make([]cand, len(s.ctrls))
+	for i, c := range s.ctrls {
+		cands[i] = cand{i, c.Stats().FreeMacros}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].free > cands[b].free })
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out, nil
+}
+
+// taskFromPath resolves {id} or replies 404/400.
+func (s *Server) taskFromPath(w http.ResponseWriter, r *http.Request) (*task, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad task id %q", r.PathValue("id"))
+		return nil, false
+	}
+	s.mu.Lock()
+	t, ok := s.tasks[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "task %d not loaded", id)
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	// Re-check under the lock so two concurrent DELETEs of the same id
+	// cannot both reach the controller.
+	if _, live := s.tasks[t.id]; !live {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "task %d not loaded", t.id)
+		return
+	}
+	delete(s.tasks, t.id)
+	s.mu.Unlock()
+	if err := s.ctrls[t.fabric].Unload(t.fid); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRelocate(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	var req RelocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := s.ctrls[t.fabric].Relocate(t.fid, req.X, req.Y); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	ct, _ := s.ctrls[t.fabric].Task(t.fid)
+	info := TaskInfo{ID: t.id, Fabric: t.fabric, Digest: t.digest.String()}
+	if ct != nil {
+		info.X, info.Y = ct.X, ct.Y
+		info.TaskW, info.TaskH = ct.VBS.TaskW, ct.VBS.TaskH
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ts := make([]*task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(ts, func(a, b int) bool { return ts[a].id < ts[b].id })
+	out := make([]TaskInfo, 0, len(ts))
+	for _, t := range ts {
+		info := TaskInfo{ID: t.id, Fabric: t.fabric, Digest: t.digest.String()}
+		if ct, ok := s.ctrls[t.fabric].Task(t.fid); ok {
+			info.X, info.Y = ct.X, ct.Y
+			info.TaskW, info.TaskH = ct.VBS.TaskW, ct.VBS.TaskH
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) fabricInfos() []FabricInfo {
+	out := make([]FabricInfo, len(s.ctrls))
+	for i, c := range s.ctrls {
+		g := c.Fabric().Grid()
+		p := c.Fabric().Params()
+		out[i] = FabricInfo{
+			Index:  i,
+			Width:  g.Width,
+			Height: g.Height,
+			W:      p.W,
+			K:      p.K,
+			Stats:  c.Stats(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleFabrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fabricInfos())
+}
+
+// Stats assembles the daemon-wide snapshot served at /stats.
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	nTasks := len(s.tasks)
+	s.mu.Unlock()
+	cs := s.cache.Stats()
+	var loads, unloads, relocs uint64
+	for _, c := range s.ctrls {
+		st := c.Stats()
+		loads += st.Loads
+		unloads += st.Unloads
+		relocs += st.Relocations
+	}
+	lat := LatencyStats{Count: s.loadCount.Load()}
+	if lat.Count > 0 {
+		lat.MeanMS = float64(s.loadNanos.Load()) / float64(lat.Count) / float64(time.Millisecond)
+		lat.MaxMS = float64(s.loadMax.Load()) / float64(time.Millisecond)
+	}
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Tasks:         nTasks,
+		Loads:         loads,
+		Unloads:       unloads,
+		Relocations:   relocs,
+		Decodes:       s.decodes.Load(),
+		LoadLatency:   lat,
+		Cache: CacheInfo{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			UsedBits:  cs.Used,
+			CapBits:   cs.Capacity,
+		},
+		Store: StoreInfo{
+			Entries:              s.store.Len(),
+			Bytes:                s.store.Bytes(),
+			MeanCompressionRatio: s.store.MeanCompressionRatio(),
+		},
+		Fabrics: s.fabricInfos(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

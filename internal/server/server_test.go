@@ -1,0 +1,261 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestLoadUnloadRelocate(t *testing.T) {
+	cl, _ := newTestDaemon(t, 2, 16, server.Options{})
+	v := makeVBS(1, 12, 4, 8, 1)
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("first load reported cached")
+	}
+	if res.TaskW != v.TaskW || res.TaskH != v.TaskH {
+		t.Errorf("task dims %dx%d", res.TaskW, res.TaskH)
+	}
+	if res.CompressionRatio <= 0 || res.CompressionRatio >= 1.5 {
+		t.Errorf("compression ratio %v", res.CompressionRatio)
+	}
+
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].ID != res.ID {
+		t.Fatalf("tasks = %+v", tasks)
+	}
+
+	// Relocate within the fabric.
+	moved, err := cl.Relocate(res.ID, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.X != 8 || moved.Y != 8 {
+		t.Errorf("relocated to (%d,%d)", moved.X, moved.Y)
+	}
+
+	if err := cl.Unload(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unload(res.ID); err == nil {
+		t.Error("double unload accepted")
+	} else if !strings.Contains(err.Error(), "404") {
+		t.Errorf("double unload error = %v", err)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 0 || st.Loads != 1 || st.Unloads != 1 || st.Relocations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestRepeatedLoadHitsCache is the acceptance scenario: a second load
+// of the same container must come from the decoded-bitstream cache,
+// observable through /stats.
+func TestRepeatedLoadHitsCache(t *testing.T) {
+	cl, _ := newTestDaemon(t, 2, 16, server.Options{})
+	data, err := makeVBS(2, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first load cached")
+	}
+	if !second.Cached {
+		t.Error("second load missed the decoded-bitstream cache")
+	}
+	if first.Digest != second.Digest {
+		t.Error("content addressing returned different digests")
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Decodes != 1 {
+		t.Errorf("decodes = %d, want 1 (second load must skip decode)", st.Decodes)
+	}
+	if st.Cache.Hits < 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache hits=%d misses=%d", st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.Store.Entries != 1 {
+		t.Errorf("store entries = %d, want 1 (identical containers deduplicate)", st.Store.Entries)
+	}
+	if st.LoadLatency.Count != 2 || st.LoadLatency.MaxMS < st.LoadLatency.MeanMS {
+		t.Errorf("latency stats = %+v", st.LoadLatency)
+	}
+}
+
+// TestConcurrentClients hammers the daemon from many goroutines over
+// two fabrics; run with -race. Every client loads, relocates and
+// unloads repeatedly; at the end the pool must be empty and the
+// counters consistent.
+func TestConcurrentClients(t *testing.T) {
+	cl, _ := newTestDaemon(t, 2, 24, server.Options{})
+	// Three distinct tasks shared by eight clients: plenty of cache
+	// hits and digest collisions by design.
+	containers := make([][]byte, 3)
+	for i := range containers {
+		data, err := makeVBS(int64(10+i), 8, 4, 8, 1).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		containers[i] = data
+	}
+
+	const clients = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*iters)
+	wg.Add(clients)
+	for g := 0; g < clients; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := cl.Load(containers[(g+i)%len(containers)], nil, nil, nil)
+				if err != nil {
+					// The pool can be momentarily full; that is a
+					// well-formed 409, not a failure.
+					if strings.Contains(err.Error(), "409") {
+						continue
+					}
+					errs <- fmt.Errorf("client %d load: %w", g, err)
+					return
+				}
+				if i%2 == 0 {
+					// Best-effort relocation; contention may refuse it.
+					_, _ = cl.Relocate(res.ID, (g*3)%16, (i*5)%16)
+				}
+				if err := cl.Unload(res.ID); err != nil {
+					errs <- fmt.Errorf("client %d unload: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 0 {
+		t.Errorf("tasks = %d after all unloads", st.Tasks)
+	}
+	if st.Loads != st.Unloads {
+		t.Errorf("loads %d != unloads %d", st.Loads, st.Unloads)
+	}
+	if st.Store.Entries != len(containers) {
+		t.Errorf("store entries = %d", st.Store.Entries)
+	}
+	// Decodes must not exceed distinct containers: everything else is
+	// cache or singleflight.
+	if st.Decodes > uint64(len(containers)) {
+		t.Errorf("decodes = %d, want <= %d", st.Decodes, len(containers))
+	}
+	for _, f := range st.Fabrics {
+		if f.FreeMacros != f.TotalMacros {
+			t.Errorf("fabric %d not empty: %d/%d free", f.Index, f.FreeMacros, f.TotalMacros)
+		}
+	}
+}
+
+func TestFabricPinningAndPlacement(t *testing.T) {
+	cl, _ := newTestDaemon(t, 2, 16, server.Options{})
+	data, err := makeVBS(3, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := 1
+	x, y := 4, 4
+	res, err := cl.Load(data, &one, &x, &y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fabric != 1 || res.X != 4 || res.Y != 4 {
+		t.Errorf("placed at fabric %d (%d,%d)", res.Fabric, res.X, res.Y)
+	}
+	fabs, err := cl.Fabrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fabs) != 2 {
+		t.Fatalf("fabrics = %d", len(fabs))
+	}
+	if fabs[1].Occupancy <= 0 || fabs[0].Occupancy != 0 {
+		t.Errorf("occupancy = %v / %v", fabs[0].Occupancy, fabs[1].Occupancy)
+	}
+	// The same position on the same fabric is now taken.
+	if _, err := cl.Load(data, &one, &x, &y); err == nil {
+		t.Error("overlapping pinned load accepted")
+	}
+	// Auto-placement must prefer the emptier fabric 0.
+	auto, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Fabric != 0 {
+		t.Errorf("auto placement chose fabric %d, want the emptier 0", auto.Fabric)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{})
+	check := func(err error, code string, what string) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s accepted", what)
+		} else if !strings.Contains(err.Error(), code) {
+			t.Errorf("%s: error %v, want %s", what, err, code)
+		}
+	}
+	_, err := cl.Load([]byte("garbage container"), nil, nil, nil)
+	check(err, "400", "malformed container")
+	check(func() error { _, err := cl.Load(nil, nil, nil, nil); return err }(),
+		"400", "empty container")
+
+	badFabric := 7
+	data, errEnc := makeVBS(4, 8, 4, 8, 1).Encode()
+	if errEnc != nil {
+		t.Fatal(errEnc)
+	}
+	_, err = cl.Load(data, &badFabric, nil, nil)
+	check(err, "400", "out-of-range fabric")
+
+	_, err = cl.Relocate(99, 0, 0)
+	check(err, "404", "relocating unknown task")
+
+	x := 3
+	_, err = cl.Load(data, nil, &x, nil)
+	check(err, "400", "x without y")
+}

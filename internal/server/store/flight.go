@@ -1,0 +1,59 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flight collapses concurrent computations for the same digest: while
+// one caller runs fn, later callers for the same key block and share
+// its result instead of duplicating the work. It is the classic
+// singleflight pattern, specialized to digest keys so a burst of
+// clients loading the same task costs one de-virtualization.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[Digest]*call[V]
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewFlight returns an empty group.
+func NewFlight[V any]() *Flight[V] {
+	return &Flight[V]{calls: make(map[Digest]*call[V])}
+}
+
+// Do runs fn once per in-flight digest, returning the shared result
+// and whether this caller piggybacked on another's call.
+func (f *Flight[V]) Do(d Digest, fn func() (V, error)) (v V, err error, shared bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[d]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call[V]{done: make(chan struct{})}
+	f.calls[d] = c
+	f.mu.Unlock()
+
+	// Clean up even if fn panics: a wedged entry would block every
+	// later caller for this digest forever. The panic itself still
+	// propagates to the leader; waiters get an error instead of a
+	// zero value.
+	panicked := true
+	defer func() {
+		if panicked {
+			c.err = fmt.Errorf("store: in-flight call for %s panicked", d.Short())
+		}
+		f.mu.Lock()
+		delete(f.calls, d)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	panicked = false
+	return c.val, c.err, false
+}

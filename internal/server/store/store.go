@@ -1,0 +1,163 @@
+// Package store is the storage layer of the vbsd runtime daemon: a
+// content-addressed Virtual Bit-Stream store, a size-bounded LRU cache
+// for decoded (de-virtualized) bitstreams, and a small singleflight
+// group that collapses concurrent decodes of the same task.
+//
+// Content addressing keys every VBS by the SHA-256 of its container
+// bytes. Encoding is deterministic, so identical tasks submitted by
+// different clients collapse to one stored VBS, one decode, and one
+// cache entry — the property that makes repeated loads O(write).
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Digest is the SHA-256 content address of a VBS container.
+type Digest [sha256.Size]byte
+
+// DigestOf returns the content address of raw container bytes.
+func DigestOf(data []byte) Digest { return sha256.Sum256(data) }
+
+// String returns the full lowercase hex form.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns a 12-hex-digit prefix for logs and task listings.
+func (d Digest) Short() string { return d.String()[:12] }
+
+// ParseDigest reads the hex form produced by String.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return d, fmt.Errorf("store: bad digest %q", s)
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+// Entry is one stored Virtual Bit-Stream.
+type Entry struct {
+	// Digest is the content address of Data.
+	Digest Digest
+	// VBS is the parsed, validated container. It is immutable: loads
+	// and decodes only read it.
+	VBS *core.VBS
+	// Data is the container as submitted.
+	Data []byte
+}
+
+// SizeBytes returns the container size.
+func (e *Entry) SizeBytes() int { return len(e.Data) }
+
+// Store is an in-memory content-addressed VBS store, safe for
+// concurrent use. When bounded, least-recently-used entries are
+// evicted by container bytes; eviction only costs future
+// deduplication — already-loaded tasks keep their own references.
+type Store struct {
+	mu       sync.Mutex
+	capBytes int
+	entries  map[Digest]*list.Element
+	order    *list.List // front = most recently used; holds *Entry
+	bytes    int
+}
+
+// New returns an unbounded store.
+func New() *Store { return NewBounded(0) }
+
+// NewBounded returns a store evicting least-recently-used entries
+// once stored container bytes exceed capBytes (<= 0 = unbounded).
+func NewBounded(capBytes int) *Store {
+	return &Store{
+		capBytes: capBytes,
+		entries:  make(map[Digest]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Put parses and admits a VBS container, returning its entry and
+// whether it was already stored. A malformed container is rejected
+// without being stored.
+func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
+	d := DigestOf(data)
+	s.mu.Lock()
+	if el, ok := s.entries[d]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return el.Value.(*Entry), true, nil
+	}
+	s.mu.Unlock()
+	v, err := core.Parse(data)
+	if err != nil {
+		return nil, false, err
+	}
+	// Warm the de-virtualization graphs off the load critical path.
+	if err := v.Warm(); err != nil {
+		return nil, false, err
+	}
+	ent = &Entry{Digest: d, VBS: v, Data: append([]byte(nil), data...)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[d]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*Entry), true, nil
+	}
+	s.entries[d] = s.order.PushFront(ent)
+	s.bytes += len(ent.Data)
+	for s.capBytes > 0 && s.bytes > s.capBytes && s.order.Len() > 1 {
+		el := s.order.Back()
+		old := el.Value.(*Entry)
+		s.order.Remove(el)
+		delete(s.entries, old.Digest)
+		s.bytes -= len(old.Data)
+	}
+	return ent, false, nil
+}
+
+// Get returns a stored entry by digest, marking it recently used.
+func (s *Store) Get(d Digest) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[d]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// Len returns the number of distinct stored VBS.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the total stored container bytes.
+func (s *Store) Bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// MeanCompressionRatio averages VBS-size/raw-size over the stored
+// tasks (the paper's Figure 4 metric; smaller is better). It returns
+// 0 for an empty store.
+func (s *Store) MeanCompressionRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		sum += el.Value.(*Entry).VBS.CompressionRatio()
+	}
+	return sum / float64(len(s.entries))
+}

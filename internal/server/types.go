@@ -1,0 +1,103 @@
+package server
+
+import "repro/internal/controller"
+
+// LoadRequest is the body of POST /tasks.
+type LoadRequest struct {
+	// VBS is the base64 (standard encoding) VBS container.
+	VBS string `json:"vbs"`
+	// Fabric optionally pins the task to one fabric index; nil lets
+	// the daemon pick the emptiest fabric that fits.
+	Fabric *int `json:"fabric,omitempty"`
+	// X, Y optionally pin the task position (both or neither).
+	X *int `json:"x,omitempty"`
+	Y *int `json:"y,omitempty"`
+}
+
+// LoadResponse describes a placed task.
+type LoadResponse struct {
+	ID     int64  `json:"id"`
+	Fabric int    `json:"fabric"`
+	X      int    `json:"x"`
+	Y      int    `json:"y"`
+	Digest string `json:"digest"`
+	TaskW  int    `json:"task_w"`
+	TaskH  int    `json:"task_h"`
+	// Cached reports whether the decoded bitstream came from the LRU
+	// cache (true) or was de-virtualized for this request (false).
+	Cached bool `json:"cached"`
+	// CompressionRatio is VBS size over raw size (smaller is better).
+	CompressionRatio float64 `json:"compression_ratio"`
+	// LoadMS is the server-side latency of this load in milliseconds.
+	LoadMS float64 `json:"load_ms"`
+}
+
+// RelocateRequest is the body of POST /tasks/{id}/relocate.
+type RelocateRequest struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// TaskInfo describes one loaded task in GET /tasks.
+type TaskInfo struct {
+	ID     int64  `json:"id"`
+	Fabric int    `json:"fabric"`
+	X      int    `json:"x"`
+	Y      int    `json:"y"`
+	TaskW  int    `json:"task_w"`
+	TaskH  int    `json:"task_h"`
+	Digest string `json:"digest"`
+}
+
+// FabricInfo describes one fabric in GET /fabrics.
+type FabricInfo struct {
+	Index  int `json:"index"`
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	W      int `json:"channel_width"`
+	K      int `json:"lut_size"`
+	controller.Stats
+}
+
+// LatencyStats summarizes server-side load latency.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// CacheInfo mirrors store.CacheStats on the wire.
+type CacheInfo struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	UsedBits  int64  `json:"used_bits"`
+	CapBits   int64  `json:"cap_bits"`
+}
+
+// StoreInfo describes the content-addressed store in GET /stats.
+type StoreInfo struct {
+	Entries              int     `json:"entries"`
+	Bytes                int     `json:"bytes"`
+	MeanCompressionRatio float64 `json:"mean_compression_ratio"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Tasks         int          `json:"tasks"`
+	Loads         uint64       `json:"loads"`
+	Unloads       uint64       `json:"unloads"`
+	Relocations   uint64       `json:"relocations"`
+	Decodes       uint64       `json:"decodes"`
+	LoadLatency   LatencyStats `json:"load_latency"`
+	Cache         CacheInfo    `json:"cache"`
+	Store         StoreInfo    `json:"store"`
+	Fabrics       []FabricInfo `json:"fabrics"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
