@@ -5,10 +5,15 @@
 // decoded bitstreams), unload, on-the-fly relocation, and occupancy /
 // latency / compression statistics.
 //
-//	vbsd -addr :8931 -fabrics 2 -size 32x32 -w 20 -k 6 -cache-mbits 64
+//	vbsd -addr :8931 -fabrics 2 -size 32x32 -w 20 -k 6 -cache-mbits 64 -policy emptiest
+//
+// Placement runs through the internal/sched policy engine (first-fit,
+// best-fit, emptiest) with dry-run admission; when no fabric admits a
+// task the daemon compacts the most promising fabric and retries once.
 //
 // Endpoints: POST /tasks, GET /tasks, DELETE /tasks/{id},
-// POST /tasks/{id}/relocate, GET /fabrics, GET /stats, GET /healthz.
+// POST /tasks/{id}/relocate, POST /fabrics/{i}/compact, GET /fabrics,
+// GET /stats, GET /healthz.
 package main
 
 import (
@@ -19,12 +24,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/controller"
 	"repro/internal/fabric"
+	"repro/internal/sched"
 	"repro/internal/server"
 )
 
@@ -38,6 +45,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "de-virtualization workers per decode (0 = GOMAXPROCS)")
 		cacheMbit = flag.Int64("cache-mbits", 64, "decoded-bitstream cache size in megabits (0 = unbounded)")
 		storeMB   = flag.Int("store-mbytes", 256, "content-addressed VBS store size in megabytes (0 = unbounded)")
+		policy    = flag.String("policy", "", "placement policy: "+strings.Join(sched.Names(), ", ")+" (default emptiest)")
 	)
 	flag.Parse()
 
@@ -62,6 +70,7 @@ func main() {
 		CacheBits:     *cacheMbit * 1_000_000,
 		StoreBytes:    *storeMB * 1_000_000,
 		DecodeWorkers: *workers,
+		Policy:        *policy,
 	})
 	if err != nil {
 		log.Fatalf("vbsd: %v", err)

@@ -17,6 +17,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -27,7 +28,19 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/sched"
 )
+
+// ErrRestoreFailed is the double fault of the Section V migration
+// path: a relocation was refused and the task could not be rewritten
+// at its old position either. The task is still tracked but owns no
+// fabric region; the fabric needs operator attention.
+var ErrRestoreFailed = errors.New("relocation failed and restore impossible")
+
+// ErrNoSlot reports that no conflict-free position currently exists
+// for the task on this fabric — the capacity failure that compaction
+// (unlike, say, an architecture mismatch) has a chance of fixing.
+var ErrNoSlot = errors.New("no conflict-free slot")
 
 // Decoded is a de-virtualized Virtual Bit-Stream: the per-entry member
 // configurations produced by the parallel decoder, still abstracted
@@ -40,6 +53,48 @@ type Decoded struct {
 	// cfgs is indexed like VBS.Entries; each element holds the
 	// region's member configurations in row-major member order.
 	cfgs [][]*arch.MacroConfig
+
+	// grid memoizes the task-relative macro view of cfgs for dry-run
+	// admission; built on first use, safe under concurrent sharing.
+	gridOnce sync.Once
+	grid     []*arch.MacroConfig
+}
+
+// ConfigAt returns the decoded configuration of task-relative macro
+// (dx, dy), or nil outside the task footprint (or for a macro no entry
+// configures). The returned config must not be mutated.
+func (d *Decoded) ConfigAt(dx, dy int) *arch.MacroConfig {
+	v := d.VBS
+	if dx < 0 || dy < 0 || dx >= v.TaskW || dy >= v.TaskH {
+		return nil
+	}
+	d.gridOnce.Do(d.buildGrid)
+	return d.grid[dy*v.TaskW+dx]
+}
+
+// buildGrid flattens the per-entry member configs into one
+// task-footprint grid, merging (OR) if entries ever overlap a macro —
+// the same composition writeDecoded applies to the fabric.
+func (d *Decoded) buildGrid() {
+	v := d.VBS
+	g := make([]*arch.MacroConfig, v.TaskW*v.TaskH)
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		cw, _ := v.RegionDims(e.X, e.Y)
+		for m, cfg := range d.cfgs[i] {
+			dx := e.X*v.Cluster + m%cw
+			dy := e.Y*v.Cluster + m/cw
+			idx := dy*v.TaskW + dx
+			if g[idx] == nil {
+				g[idx] = cfg
+			} else {
+				merged := g[idx].Clone()
+				merged.Vec().Or(cfg.Vec())
+				g[idx] = merged
+			}
+		}
+	}
+	d.grid = g
 }
 
 // SizeBits returns the footprint of the decoded configurations (the
@@ -242,25 +297,94 @@ func (c *Controller) LoadAt(v *core.VBS, x0, y0 int) (*Task, error) {
 // LoadDecoded places an already-decoded task at the first conflict-free
 // position. This is the cache-hit load path: no de-virtualization runs.
 func (c *Controller) LoadDecoded(d *Decoded) (*Task, error) {
+	return c.LoadDecodedPolicy(d, sched.FirstFit())
+}
+
+// LoadDecodedPolicy places an already-decoded task at the position the
+// policy selects. Candidate positions are evaluated with the dry-run
+// admission check (overlap + seam analysis against the candidate
+// decode), so a rejected position never touches the fabric; only the
+// one committed slot is written, and it is still verified
+// write-then-check like every load.
+func (c *Controller) LoadDecodedPolicy(d *Decoded, p sched.Policy) (*Task, error) {
 	if err := c.checkArch(d.VBS); err != nil {
 		return nil, err
+	}
+	if p == nil {
+		p = sched.FirstFit()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v := d.VBS
-	g := c.fab.Grid()
-	for y := 0; y+v.TaskH <= g.Height; y++ {
-		for x := 0; x+v.TaskW <= g.Width; x++ {
-			if c.fab.OwnerAt(x, y) != fabric.NoTask {
-				continue
-			}
-			t, err := c.loadDecodedAtLocked(d, x, y)
-			if err == nil {
-				return t, nil
-			}
-		}
+	x, y, ok := p.PickSlot(&slotView{c: c, d: d, as: c.nextID})
+	if !ok {
+		return nil, fmt.Errorf("controller: %w for %dx%d task", ErrNoSlot, v.TaskW, v.TaskH)
 	}
-	return nil, fmt.Errorf("controller: no conflict-free slot for %dx%d task", v.TaskW, v.TaskH)
+	return c.loadDecodedAtLocked(d, x, y)
+}
+
+// CanPlace is the dry-run admission check: it reports whether the
+// decoded task could be committed at (x0, y0) — region inside the
+// fabric, no overlap with other tasks, no seam conflicts with the
+// candidate decode — without mutating the fabric configuration.
+func (c *Controller) CanPlace(d *Decoded, x0, y0 int) error {
+	if err := c.checkArch(d.VBS); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.canPlaceLocked(d, x0, y0, c.nextID)
+}
+
+// canPlaceLocked evaluates admission at (x0, y0) for the task id `as`
+// (the relocating task's id, or the prospective id of a new load).
+// Callers hold c.mu.
+func (c *Controller) canPlaceLocked(d *Decoded, x0, y0 int, as fabric.TaskID) error {
+	v := d.VBS
+	if err := c.fab.CheckRect(x0, y0, v.TaskW, v.TaskH, as); err != nil {
+		return err
+	}
+	if conflicts := c.fab.CandidateSeamConflicts(as, x0, y0, v.TaskW, v.TaskH, d.ConfigAt); len(conflicts) > 0 {
+		return fmt.Errorf("controller: seam conflicts at (%d,%d): %s", x0, y0, conflicts[0])
+	}
+	return nil
+}
+
+// fitsLocked is canPlaceLocked as an allocation-free predicate: the
+// form placement scans use when probing hundreds of positions, where
+// building rejection messages would dominate. Callers hold c.mu.
+func (c *Controller) fitsLocked(d *Decoded, x0, y0 int, as fabric.TaskID) bool {
+	v := d.VBS
+	return c.fab.FitsRect(x0, y0, v.TaskW, v.TaskH, as) &&
+		!c.fab.HasCandidateSeamConflict(as, x0, y0, v.TaskW, v.TaskH, d.ConfigAt)
+}
+
+// slotView adapts a locked controller and a candidate decode to the
+// sched.Slots interface. Policies run under c.mu and must not reenter
+// the controller.
+type slotView struct {
+	c  *Controller
+	d  *Decoded
+	as fabric.TaskID
+}
+
+func (s *slotView) Dims() (int, int) {
+	g := s.c.fab.Grid()
+	return g.Width, g.Height
+}
+
+func (s *slotView) Task() (int, int) { return s.d.VBS.TaskW, s.d.VBS.TaskH }
+
+func (s *slotView) Free(x, y int) bool {
+	if !s.c.fab.Grid().Contains(x, y) {
+		return false
+	}
+	o := s.c.fab.OwnerAt(x, y)
+	return o == fabric.NoTask || o == s.as
+}
+
+func (s *slotView) CanPlace(x, y int) bool {
+	return s.c.fitsLocked(s.d, x, y, s.as)
 }
 
 // LoadDecodedAt places an already-decoded task at an explicit position.
@@ -331,7 +455,7 @@ func (c *Controller) relocateLocked(id fabric.TaskID, x0, y0 int) error {
 		// Restore at the old position; the cached decode makes this
 		// loss-free.
 		if err2 := c.fab.Allocate(id, oldX, oldY, t.VBS.TaskW, t.VBS.TaskH); err2 != nil {
-			return fmt.Errorf("controller: relocation failed and restore impossible: %v / %v", err, err2)
+			return fmt.Errorf("controller: %w: %v / %v", ErrRestoreFailed, err, err2)
 		}
 		c.writeDecoded(t.dec, oldX, oldY)
 		return err
@@ -357,7 +481,18 @@ func (c *Controller) relocateLocked(id fabric.TaskID, x0, y0 int) error {
 // the first-fit position scanning from the origin, coalescing free
 // space. Because every task keeps its position-free decode, this is a
 // pure runtime operation — the paper's motivating scenario for
-// relocation. It returns the number of tasks moved.
+// relocation. Candidate positions are pre-filtered with the dry-run
+// overlap query (self-overlap allowed), so occupied slots cost no
+// fabric writes; each surviving candidate commits through the
+// write-then-verify relocation path, which also performs the seam
+// analysis. Seam deliberately stays on the commit side here — unlike
+// the load scan — because compaction is off the hot load path and a
+// refused commit is the one place the restore double fault can
+// actually arise and be exercised; a full dry-run would make that
+// failure mode unreachable. It returns the number of tasks moved. A
+// relocation that is refused and cannot be restored (the
+// ErrRestoreFailed double fault) aborts compaction and is returned:
+// the affected task is still tracked but owns no fabric region.
 func (c *Controller) Compact() (moved int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -386,12 +521,15 @@ func (c *Controller) Compact() (moved int, err error) {
 				maxX = t.X - 1
 			}
 			for x := 0; x <= maxX; x++ {
-				if x == t.X && y == t.Y {
+				if !c.fab.FitsRect(x, y, t.VBS.TaskW, t.VBS.TaskH, id) {
 					continue
 				}
-				if err := c.relocateLocked(id, x, y); err == nil {
+				switch err := c.relocateLocked(id, x, y); {
+				case err == nil:
 					moved++
 					break scan
+				case errors.Is(err, ErrRestoreFailed):
+					return moved, err
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/rrg"
+	"repro/internal/sched"
 )
 
 // makeTask compiles a small random task to a VBS.
@@ -426,7 +428,7 @@ func TestCompactIdempotent(t *testing.T) {
 // seamTask hand-builds a 1x1-macro VBS whose single connection routes
 // a west boundary wire to an east boundary wire, so two adjacent
 // copies contend for the shared channel wire between them.
-func seamTask(t *testing.T) *core.VBS {
+func seamTask(t testing.TB) *core.VBS {
 	t.Helper()
 	p := arch.Params{W: 8, K: 6}
 	r := devirt.Region{P: p, Nominal: 1, CW: 1, CH: 1}
@@ -482,6 +484,172 @@ func TestRelocateRejectsSeamConflict(t *testing.T) {
 	// A harmless move still works.
 	if err := c.Relocate(b.ID, 5, 0); err != nil {
 		t.Fatalf("conflict-free relocation refused: %v", err)
+	}
+	_ = a
+}
+
+// quietTask hand-builds a 1x1-macro VBS with no connections: it can
+// abut anything without seam conflicts, isolating placement geometry.
+func quietTask(t testing.TB) *core.VBS {
+	t.Helper()
+	v := &core.VBS{
+		P: arch.Params{W: 8, K: 6}, Cluster: 1, TaskW: 1, TaskH: 1,
+		Entries: []core.Entry{{}},
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCanPlaceDoesNotMutate: probing every position of a populated
+// fabric must leave ownership and configuration untouched.
+func TestCanPlaceDoesNotMutate(t *testing.T) {
+	v := seamTask(t)
+	f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 6, Height: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(f, 1)
+	if _, err := c.LoadAt(v, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadAt(v, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeVBS(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make([]fabric.TaskID, 6)
+	configs := make([]*bits.Vec, 6)
+	for x := 0; x < 6; x++ {
+		owners[x] = f.OwnerAt(x, 0)
+		configs[x] = f.Config().At(x, 0).Vec().Clone()
+	}
+	for x := 0; x < 6; x++ {
+		_ = c.CanPlace(d, x, 0)
+	}
+	for x := 0; x < 6; x++ {
+		if f.OwnerAt(x, 0) != owners[x] {
+			t.Errorf("CanPlace mutated owner of (%d,0)", x)
+		}
+		if !f.Config().At(x, 0).Vec().Equal(configs[x]) {
+			t.Errorf("CanPlace mutated configuration of (%d,0)", x)
+		}
+	}
+}
+
+// TestCanPlaceMatchesCommit: the dry-run verdict must agree with the
+// write-then-verify load at every position.
+func TestCanPlaceMatchesCommit(t *testing.T) {
+	v := seamTask(t)
+	d, err := DecodeVBS(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Controller {
+		f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 6, Height: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(f, 1)
+		if _, err := c.LoadAt(v, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.LoadAt(v, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	dry := mk()
+	for x := 0; x < 6; x++ {
+		want := func() bool {
+			live := mk()
+			_, err := live.LoadDecodedAt(d, x, 0)
+			return err == nil
+		}()
+		if got := dry.CanPlace(d, x, 0) == nil; got != want {
+			t.Errorf("x=%d: CanPlace = %v, commit = %v", x, got, want)
+		}
+	}
+}
+
+// TestLoadDecodedPolicyBestFit: best-fit must pick the snug slot
+// first-fit would skip.
+func TestLoadDecodedPolicyBestFit(t *testing.T) {
+	v := quietTask(t)
+	d, err := DecodeVBS(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Controller {
+		f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 4, Height: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(f, 1)
+		if _, err := c.LoadAt(v, 2, 0); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ff, err := mk().LoadDecodedPolicy(d, sched.FirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.X != 0 {
+		t.Errorf("first-fit placed at x=%d, want 0", ff.X)
+	}
+	bf, err := mk().LoadDecodedPolicy(d, sched.BestFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3,0) is walled by the task at (2,0) and the fabric edge: gap 0.
+	if bf.X != 3 {
+		t.Errorf("best-fit placed at x=%d, want 3", bf.X)
+	}
+}
+
+// TestCompactPropagatesRestoreFailure: when a refused relocation
+// cannot restore the task (its old region was corrupted away), Compact
+// must surface the double fault instead of discarding it.
+func TestCompactPropagatesRestoreFailure(t *testing.T) {
+	v := seamTask(t)
+	f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 6, Height: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(f, 1)
+	a, err := c.LoadAt(v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.LoadAt(v, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the fabric behind the controller's back: steal B's
+	// region, so the restore after a refused move has nowhere to go.
+	f.Release(b.ID)
+	if err := f.Allocate(99, 2, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Compact tries to slide B to (1,0); the seam conflict with A
+	// refuses the move and the restore to the stolen (2,0) fails.
+	moved, err := c.Compact()
+	if err == nil {
+		t.Fatal("Compact swallowed the restore failure")
+	}
+	if !errors.Is(err, ErrRestoreFailed) {
+		t.Errorf("Compact error = %v, want ErrRestoreFailed", err)
+	}
+	if moved != 0 {
+		t.Errorf("moved = %d", moved)
+	}
+	// The documented degraded state: B is still tracked but regionless.
+	if _, ok := c.Task(b.ID); !ok {
+		t.Error("task dropped from tracking")
 	}
 	_ = a
 }

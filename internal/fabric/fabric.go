@@ -106,6 +106,42 @@ func (f *Fabric) Release(id TaskID) int {
 	return n
 }
 
+// CheckRect reports whether a task could claim the rectangle: it must
+// lie inside the grid and every macro must be unowned. Macros owned by
+// except are treated as free (pass the relocating task's id, or NoTask
+// for a fresh load), so a task may be admitted into space overlapping
+// its own current region. Nothing is mutated; this is the overlap half
+// of dry-run admission.
+func (f *Fabric) CheckRect(x0, y0, w, h int, except TaskID) error {
+	if err := f.rectCheck(x0, y0, w, h); err != nil {
+		return err
+	}
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			if o := f.owner[f.g.Index(x, y)]; o != NoTask && o != except {
+				return fmt.Errorf("fabric: macro (%d,%d) owned by task %d", x, y, o)
+			}
+		}
+	}
+	return nil
+}
+
+// FitsRect is CheckRect as an allocation-free predicate, for placement
+// scans that probe many positions.
+func (f *Fabric) FitsRect(x0, y0, w, h int, except TaskID) bool {
+	if w < 1 || h < 1 || x0 < 0 || y0 < 0 || x0+w > f.g.Width || y0+h > f.g.Height {
+		return false
+	}
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			if o := f.owner[f.g.Index(x, y)]; o != NoTask && o != except {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // FindSlot scans row-major for the first free w×h rectangle, returning
 // its origin or ok=false.
 func (f *Fabric) FindSlot(w, h int) (x0, y0 int, ok bool) {
@@ -156,7 +192,12 @@ func (f *Fabric) Occupancy() float64 {
 // condUsed reports whether the configuration of macro (x, y) has any
 // on switch touching local conductor c.
 func (f *Fabric) condUsed(x, y int, c arch.Cond) bool {
-	cfg := f.raw.At(x, y)
+	return f.condUsedIn(f.raw.At(x, y), c)
+}
+
+// condUsedIn reports whether cfg has any on switch touching local
+// conductor c.
+func (f *Fabric) condUsedIn(cfg *arch.MacroConfig, c arch.Cond) bool {
 	for _, nb := range f.p.Adjacency(c) {
 		if cfg.SwitchOn(nb.Switch) {
 			return true
@@ -198,6 +239,86 @@ func (f *Fabric) SeamConflicts(x0, y0, w, h int) []string {
 		}
 	}
 	return out
+}
+
+// CandidateSeamConflicts runs the seam analysis of SeamConflicts for a
+// hypothetical placement, without writing anything into the fabric:
+// the task `as` occupies rectangle (x0, y0, w, h) with the per-macro
+// configurations returned by cfgAt (rectangle-relative coordinates;
+// nil means all-off). Macros outside the rectangle are read from the
+// live configuration, except that macros owned by `as` are skipped —
+// for a relocation they would be released (and cleared) before the
+// candidate is written, and for a fresh load `as` is a new id nothing
+// else owns. The result equals what SeamConflicts would report after
+// Allocate-and-write at the same position, which is what makes
+// dry-run admission sound.
+func (f *Fabric) CandidateSeamConflicts(as TaskID, x0, y0, w, h int, cfgAt func(dx, dy int) *arch.MacroConfig) []string {
+	var out []string
+	f.scanCandidateSeams(as, x0, y0, w, h, cfgAt, func(ax, ay int, ac arch.Cond, idb TaskID) bool {
+		out = append(out, fmt.Sprintf(
+			"wire %s of macro (%d,%d) contended by tasks %d and %d",
+			f.p.CondName(ac), ax, ay, as, idb))
+		return false
+	})
+	return out
+}
+
+// HasCandidateSeamConflict reports whether CandidateSeamConflicts
+// would be non-empty, stopping at the first contended wire and
+// allocating nothing — the admission predicate placement scans probe
+// hundreds of positions with.
+func (f *Fabric) HasCandidateSeamConflict(as TaskID, x0, y0, w, h int, cfgAt func(dx, dy int) *arch.MacroConfig) bool {
+	found := false
+	f.scanCandidateSeams(as, x0, y0, w, h, cfgAt, func(int, int, arch.Cond, TaskID) bool {
+		found = true
+		return true
+	})
+	return found
+}
+
+// scanCandidateSeams walks the four seams of the hypothetical
+// placement and calls emit for every contended wire; emit returning
+// true stops the scan.
+func (f *Fabric) scanCandidateSeams(as TaskID, x0, y0, w, h int, cfgAt func(dx, dy int) *arch.MacroConfig, emit func(ax, ay int, ac arch.Cond, idb TaskID) bool) {
+	check := func(ax, ay int, ac arch.Cond, bx, by int, bc arch.Cond) bool {
+		if !f.g.Contains(ax, ay) || !f.g.Contains(bx, by) {
+			return false
+		}
+		idb := f.OwnerAt(bx, by)
+		if idb == as {
+			return false
+		}
+		cfg := cfgAt(ax-x0, ay-y0)
+		if cfg == nil {
+			return false
+		}
+		if f.condUsedIn(cfg, ac) && f.condUsed(bx, by, bc) {
+			return emit(ax, ay, ac, idb)
+		}
+		return false
+	}
+	// Same four seams as SeamConflicts; the inside endpoint always
+	// reads the candidate configuration.
+	for y := y0; y < y0+h; y++ {
+		for t := 0; t < f.p.W; t++ {
+			if check(x0+w-1, y, f.p.CondHW(t), x0+w, y, f.p.CondInW(t)) {
+				return
+			}
+			if check(x0, y, f.p.CondInW(t), x0-1, y, f.p.CondHW(t)) {
+				return
+			}
+		}
+	}
+	for x := x0; x < x0+w; x++ {
+		for t := 0; t < f.p.W; t++ {
+			if check(x, y0+h-1, f.p.CondVW(t), x, y0+h, f.p.CondInS(t)) {
+				return
+			}
+			if check(x, y0, f.p.CondInS(t), x, y0-1, f.p.CondVW(t)) {
+				return
+			}
+		}
+	}
 }
 
 func (f *Fabric) seamCheck(out *[]string, ax, ay int, ac arch.Cond, bx, by int, bc arch.Cond, id func(int, int) TaskID) {

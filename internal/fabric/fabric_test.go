@@ -198,3 +198,120 @@ func TestOccupancyHelpers(t *testing.T) {
 		t.Errorf("UsedMacros after release = %d", got)
 	}
 }
+
+func TestCheckRect(t *testing.T) {
+	f := newFabric(t)
+	if err := f.Allocate(1, 2, 2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckRect(0, 0, 2, 2, NoTask); err != nil {
+		t.Errorf("free rect rejected: %v", err)
+	}
+	if err := f.CheckRect(1, 1, 2, 2, NoTask); err == nil {
+		t.Error("overlapping rect accepted")
+	}
+	// The overlap is with task 1 itself: admissible for a relocation.
+	if err := f.CheckRect(1, 1, 2, 2, 1); err != nil {
+		t.Errorf("self-overlapping rect rejected: %v", err)
+	}
+	if err := f.CheckRect(7, 7, 2, 2, NoTask); err == nil {
+		t.Error("out-of-bounds rect accepted")
+	}
+	// CheckRect must not mutate ownership.
+	if f.UsedMacros() != 4 {
+		t.Errorf("UsedMacros = %d after queries", f.UsedMacros())
+	}
+}
+
+// TestCandidateSeamConflictsMatchesLive: the dry-run seam analysis
+// must agree with SeamConflicts after actually writing the candidate.
+func TestCandidateSeamConflictsMatchesLive(t *testing.T) {
+	p := arch.PaperExample()
+	// Neighbour task 1 drives HW(3) of its east column macro (1,0).
+	mkNeighbour := func(f *Fabric) {
+		if err := f.Allocate(1, 0, 0, 2, 2); err != nil {
+			t.Fatal(err)
+		}
+		f.Config().At(1, 0).SetSwitch(p.SwitchBetween(p.CondPin(1), p.CondHW(3)), true)
+	}
+	// Candidate 2x2 task whose west column macro taps InW(3): conflicts
+	// when placed directly east of the neighbour.
+	conflicting := arch.NewMacroConfig(p)
+	conflicting.SetSwitch(p.SwitchBetween(p.CondInW(3), p.CondHW(3)), true)
+	quiet := arch.NewMacroConfig(p)
+	cfgAt := func(dx, dy int) *arch.MacroConfig {
+		if dx == 0 && dy == 0 {
+			return conflicting
+		}
+		return quiet
+	}
+
+	for _, tc := range []struct {
+		name         string
+		x0, y0       int
+		wantConflict bool
+	}{
+		{"abutting east", 2, 0, true},
+		{"one column away", 3, 0, false},
+		{"far corner", 4, 4, false},
+	} {
+		// Dry-run verdict on a fresh fabric.
+		fDry, err := New(p, arch.Grid{Width: 8, Height: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkNeighbour(fDry)
+		ownersBefore := fDry.UsedMacros()
+		dry := fDry.CandidateSeamConflicts(2, tc.x0, tc.y0, 2, 2, cfgAt)
+		if fDry.UsedMacros() != ownersBefore {
+			t.Fatalf("%s: dry run mutated ownership", tc.name)
+		}
+
+		// Live verdict: allocate, write the same configs, analyze.
+		fLive, err := New(p, arch.Grid{Width: 8, Height: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkNeighbour(fLive)
+		if err := fLive.Allocate(2, tc.x0, tc.y0, 2, 2); err != nil {
+			t.Fatal(err)
+		}
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				fLive.Config().At(tc.x0+dx, tc.y0+dy).Vec().Or(cfgAt(dx, dy).Vec())
+			}
+		}
+		live := fLive.SeamConflicts(tc.x0, tc.y0, 2, 2)
+
+		if (len(dry) > 0) != tc.wantConflict || len(dry) != len(live) {
+			t.Errorf("%s: dry = %v, live = %v, wantConflict = %v",
+				tc.name, dry, live, tc.wantConflict)
+		}
+	}
+}
+
+// TestCandidateSeamConflictsSkipsSelf: for a relocation, seams against
+// the task's own soon-to-be-released region must not count.
+func TestCandidateSeamConflictsSkipsSelf(t *testing.T) {
+	p := arch.PaperExample()
+	f, err := New(p, arch.Grid{Width: 8, Height: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 at (2,0) drives its east HW(0) and taps InW(0): moving it
+	// one macro west overlaps nothing but abuts its own stale region.
+	if err := f.Allocate(1, 2, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	f.Config().At(2, 0).SetSwitch(p.SwitchBetween(p.CondPin(1), p.CondHW(0)), true)
+	f.Config().At(2, 0).SetSwitch(p.SwitchBetween(p.CondInW(0), p.CondHW(0)), true)
+	cfg := f.Config().At(2, 0).Clone()
+	cfgAt := func(dx, dy int) *arch.MacroConfig { return cfg }
+	if cs := f.CandidateSeamConflicts(1, 1, 0, 1, 1, cfgAt); len(cs) != 0 {
+		t.Errorf("self seam reported for relocation: %v", cs)
+	}
+	// The same candidate from a different task would conflict.
+	if cs := f.CandidateSeamConflicts(2, 1, 0, 1, 1, cfgAt); len(cs) == 0 {
+		t.Error("real seam conflict missed")
+	}
+}

@@ -1,0 +1,244 @@
+// Package sched is the placement decision layer of the run-time
+// manager: given a task's footprint and a read-only view of the fabric
+// pool, a Policy chooses which fabric to try first and which slot to
+// commit to on that fabric.
+//
+// The package deliberately knows nothing about bitstreams, controllers
+// or HTTP — policies see fabrics only through the small FabricStat and
+// Slots views, so the same policy drives the controller's slot scan and
+// the daemon's pool ordering. Admission itself (region overlap plus
+// seam analysis) is the caller's job, surfaced to policies as
+// Slots.CanPlace; crucially the caller evaluates it as a dry run
+// against the candidate decode, so a policy may probe every position
+// of a fragmented fabric without a single fabric write.
+//
+// Three policies ship with the runtime:
+//
+//   - first-fit: fabrics in index order, first admissible slot
+//     row-major. The cheapest scan; the reference behaviour.
+//   - best-fit: fullest fabric first, and within a fabric the
+//     admissible slot with the fewest free macros bordering it
+//     (tightest gap), so large free rectangles survive for large
+//     tasks.
+//   - emptiest: emptiest fabric first, first admissible slot — the
+//     load-balancing default of the vbsd daemon.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Request describes the footprint of the task being placed, in macros.
+type Request struct {
+	W, H int
+}
+
+// Area returns the number of macros the task occupies.
+func (r Request) Area() int { return r.W * r.H }
+
+// FabricStat is the per-fabric summary a policy ranks the pool with.
+type FabricStat struct {
+	// Index identifies the fabric in the pool.
+	Index int
+	// Width and Height are the fabric dimensions in macros; every
+	// policy ranks fabrics that cannot hold the request last.
+	Width, Height int
+	// FreeMacros is the current number of unowned macros.
+	FreeMacros int
+}
+
+// Slots is the read-only view of one fabric a policy picks a slot
+// through. Coordinates outside the fabric report Free == false, so
+// fabric edges count as walls.
+type Slots interface {
+	// Dims returns the fabric dimensions in macros.
+	Dims() (w, h int)
+	// Task returns the footprint of the task being placed.
+	Task() (w, h int)
+	// Free reports whether macro (x, y) is inside the fabric and
+	// unowned (macros owned by a task being relocated count as free).
+	Free(x, y int) bool
+	// CanPlace is the dry-run admission check: region overlap and seam
+	// analysis of the candidate decode at (x, y), with no fabric
+	// mutation.
+	CanPlace(x, y int) bool
+}
+
+// Policy is a pluggable placement strategy.
+type Policy interface {
+	// Name returns the registry name of the policy.
+	Name() string
+	// RankFabrics orders the pool by placement preference for the
+	// request; every index appears exactly once.
+	RankFabrics(stats []FabricStat, req Request) []int
+	// PickSlot selects a slot on one fabric, or ok == false when no
+	// admissible position exists.
+	PickSlot(s Slots) (x, y int, ok bool)
+}
+
+// scanFirst returns the first admissible position row-major.
+func scanFirst(s Slots) (int, int, bool) {
+	fw, fh := s.Dims()
+	tw, th := s.Task()
+	for y := 0; y+th <= fh; y++ {
+		for x := 0; x+tw <= fw; x++ {
+			if s.CanPlace(x, y) {
+				return x, y, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// rankFabrics orders fabric indices stably by less (nil keeps the
+// given order), then partitions so fabrics whose dimensions cannot
+// hold the request come last — they can only fail, so trying them
+// first wastes placement scans.
+func rankFabrics(stats []FabricStat, req Request, less func(a, b FabricStat) bool) []int {
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	if less != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return less(stats[order[a]], stats[order[b]])
+		})
+	}
+	out := make([]int, 0, len(order))
+	var tail []int
+	for _, o := range order {
+		if stats[o].Width >= req.W && stats[o].Height >= req.H {
+			out = append(out, stats[o].Index)
+		} else {
+			tail = append(tail, stats[o].Index)
+		}
+	}
+	return append(out, tail...)
+}
+
+type firstFit struct{}
+
+// FirstFit returns the first-fit policy: fabrics in index order, first
+// admissible slot row-major.
+func FirstFit() Policy { return firstFit{} }
+
+func (firstFit) Name() string { return "first-fit" }
+
+func (firstFit) RankFabrics(stats []FabricStat, req Request) []int {
+	return rankFabrics(stats, req, nil)
+}
+
+func (firstFit) PickSlot(s Slots) (int, int, bool) { return scanFirst(s) }
+
+type emptiest struct{}
+
+// Emptiest returns the load-balancing policy: emptiest fabric first,
+// first admissible slot row-major. This is the daemon's default and
+// matches its original pool behaviour.
+func Emptiest() Policy { return emptiest{} }
+
+func (emptiest) Name() string { return "emptiest" }
+
+func (emptiest) RankFabrics(stats []FabricStat, req Request) []int {
+	return rankFabrics(stats, req, func(a, b FabricStat) bool { return a.FreeMacros > b.FreeMacros })
+}
+
+func (emptiest) PickSlot(s Slots) (int, int, bool) { return scanFirst(s) }
+
+type bestFit struct{}
+
+// BestFit returns the packing policy: fullest fabric first (tightest
+// pool fit), and within a fabric the admissible slot bordered by the
+// fewest free macros, so tasks pack against walls and each other and
+// large free rectangles survive.
+func BestFit() Policy { return bestFit{} }
+
+func (bestFit) Name() string { return "best-fit" }
+
+func (bestFit) RankFabrics(stats []FabricStat, req Request) []int {
+	return rankFabrics(stats, req, func(a, b FabricStat) bool { return a.FreeMacros < b.FreeMacros })
+}
+
+func (bestFit) PickSlot(s Slots) (int, int, bool) {
+	fw, fh := s.Dims()
+	tw, th := s.Task()
+	bestX, bestY, bestGap := 0, 0, -1
+	for y := 0; y+th <= fh; y++ {
+		for x := 0; x+tw <= fw; x++ {
+			if !s.CanPlace(x, y) {
+				continue
+			}
+			gap := borderGap(s, x, y, tw, th)
+			if bestGap < 0 || gap < bestGap {
+				bestX, bestY, bestGap = x, y, gap
+				if bestGap == 0 {
+					// Gap 0 is the provable minimum: stop paying
+					// admission checks for the rest of the fabric.
+					return bestX, bestY, true
+				}
+			}
+		}
+	}
+	return bestX, bestY, bestGap >= 0
+}
+
+// borderGap counts the free macros in the one-macro ring around the
+// rect (corners included); out-of-fabric cells count as walls.
+func borderGap(s Slots, x0, y0, w, h int) int {
+	gap := 0
+	for x := x0 - 1; x <= x0+w; x++ {
+		if s.Free(x, y0-1) {
+			gap++
+		}
+		if s.Free(x, y0+h) {
+			gap++
+		}
+	}
+	for y := y0; y < y0+h; y++ {
+		if s.Free(x0-1, y) {
+			gap++
+		}
+		if s.Free(x0+w, y) {
+			gap++
+		}
+	}
+	return gap
+}
+
+// registry is the single source of truth for policy names: Names and
+// New both read it, so the two cannot drift.
+var registry = []struct {
+	name string
+	make func() Policy
+}{
+	{"best-fit", BestFit},
+	{"emptiest", Emptiest},
+	{"first-fit", FirstFit},
+}
+
+// Default returns the policy used when none is configured.
+func Default() Policy { return Emptiest() }
+
+// Names lists the registered policy names.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, p := range registry {
+		out[i] = p.name
+	}
+	return out
+}
+
+// New resolves a policy by name; the empty string selects Default.
+func New(name string) (Policy, error) {
+	if name == "" {
+		return Default(), nil
+	}
+	for _, p := range registry {
+		if p.name == name {
+			return p.make(), nil
+		}
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// gridSlots is a fake fabric: '#' cells are occupied, '.' free. A
+// placement is admissible when every covered cell is free (no seam
+// model — sched never sees one anyway).
+type gridSlots struct {
+	rows   []string
+	tw, th int
+}
+
+func (g *gridSlots) Dims() (int, int) { return len(g.rows[0]), len(g.rows) }
+func (g *gridSlots) Task() (int, int) { return g.tw, g.th }
+
+func (g *gridSlots) Free(x, y int) bool {
+	if y < 0 || y >= len(g.rows) || x < 0 || x >= len(g.rows[0]) {
+		return false
+	}
+	return g.rows[y][x] == '.'
+}
+
+func (g *gridSlots) CanPlace(x0, y0 int) bool {
+	for y := y0; y < y0+g.th; y++ {
+		for x := x0; x < x0+g.tw; x++ {
+			if !g.Free(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFirstFitPicksFirstRowMajor(t *testing.T) {
+	s := &gridSlots{rows: []string{
+		"##..",
+		"....",
+	}, tw: 2, th: 1}
+	x, y, ok := FirstFit().PickSlot(s)
+	if !ok || x != 2 || y != 0 {
+		t.Fatalf("PickSlot = (%d,%d,%v), want (2,0,true)", x, y, ok)
+	}
+}
+
+func TestPickSlotNoneFits(t *testing.T) {
+	s := &gridSlots{rows: []string{"#.#"}, tw: 2, th: 1}
+	for _, p := range []Policy{FirstFit(), Emptiest(), BestFit()} {
+		if _, _, ok := p.PickSlot(s); ok {
+			t.Errorf("%s: found a slot on a fabric with no 2-wide gap", p.Name())
+		}
+	}
+}
+
+// TestBestFitPrefersTightGap: a 1x1 task on a fabric with a snug
+// pocket must land in the pocket, not in the open field first-fit
+// would choose.
+func TestBestFitPrefersTightGap(t *testing.T) {
+	s := &gridSlots{rows: []string{
+		".###",
+		".#.#",
+		".###",
+		"....",
+	}, tw: 1, th: 1}
+	if x, y, ok := FirstFit().PickSlot(s); !ok || x != 0 || y != 0 {
+		t.Fatalf("first-fit = (%d,%d,%v)", x, y, ok)
+	}
+	// (2,1) is the fully walled pocket: gap 0.
+	x, y, ok := BestFit().PickSlot(s)
+	if !ok {
+		t.Fatal("best-fit found nothing")
+	}
+	if got := borderGap(s, x, y, 1, 1); got != 0 || !(x == 2 && y == 1) {
+		t.Errorf("best-fit = (%d,%d) gap %d, want (2,1) gap 0", x, y, got)
+	}
+}
+
+func TestRankFabrics(t *testing.T) {
+	stats := []FabricStat{
+		{Index: 0, Width: 4, Height: 4, FreeMacros: 10},
+		{Index: 1, Width: 4, Height: 4, FreeMacros: 16},
+		{Index: 2, Width: 4, Height: 4, FreeMacros: 3},
+	}
+	req := Request{W: 1, H: 1}
+	if got := FirstFit().RankFabrics(stats, req); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("first-fit rank = %v", got)
+	}
+	if got := Emptiest().RankFabrics(stats, req); !reflect.DeepEqual(got, []int{1, 0, 2}) {
+		t.Errorf("emptiest rank = %v", got)
+	}
+	if got := BestFit().RankFabrics(stats, req); !reflect.DeepEqual(got, []int{2, 0, 1}) {
+		t.Errorf("best-fit rank = %v", got)
+	}
+}
+
+func TestRankFabricsStableOnTies(t *testing.T) {
+	stats := []FabricStat{
+		{Index: 0, Width: 4, Height: 4, FreeMacros: 8},
+		{Index: 1, Width: 4, Height: 4, FreeMacros: 8},
+	}
+	for _, p := range []Policy{Emptiest(), BestFit()} {
+		if got := p.RankFabrics(stats, Request{W: 1, H: 1}); !reflect.DeepEqual(got, []int{0, 1}) {
+			t.Errorf("%s tie rank = %v, want [0 1]", p.Name(), got)
+		}
+	}
+}
+
+// TestRankFabricsTooSmallLast: a fabric whose dimensions cannot hold
+// the request can only fail, so every policy ranks it last even when
+// its occupancy would otherwise put it first.
+func TestRankFabricsTooSmallLast(t *testing.T) {
+	stats := []FabricStat{
+		{Index: 0, Width: 2, Height: 2, FreeMacros: 4}, // emptiest but too small
+		{Index: 1, Width: 4, Height: 4, FreeMacros: 1},
+	}
+	req := Request{W: 3, H: 3}
+	for _, p := range []Policy{FirstFit(), Emptiest(), BestFit()} {
+		if got := p.RankFabrics(stats, req); !reflect.DeepEqual(got, []int{1, 0}) {
+			t.Errorf("%s rank = %v, want [1 0]", p.Name(), got)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := New(""); err != nil || p.Name() != Default().Name() {
+		t.Errorf("New(\"\") = %v, %v", p, err)
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -26,6 +26,9 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: base, hc: httpClient}
 }
 
+// Base returns the daemon base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
 // apiError is a non-2xx reply surfaced to the caller.
 type apiError struct {
 	Status  int
@@ -74,12 +77,14 @@ func (c *Client) do(method, path string, in, out any) error {
 // Load submits a VBS container for placement. fabric/x/y follow
 // LoadRequest semantics (nil = daemon's choice).
 func (c *Client) Load(container []byte, fabric, x, y *int) (LoadResponse, error) {
-	req := LoadRequest{
-		VBS:    base64.StdEncoding.EncodeToString(container),
-		Fabric: fabric,
-		X:      x,
-		Y:      y,
-	}
+	return c.LoadWith(container, LoadRequest{Fabric: fabric, X: x, Y: y})
+}
+
+// LoadWith submits a VBS container with full LoadRequest control
+// (fabric/position pinning, per-request placement policy). The VBS
+// field of req is filled from container.
+func (c *Client) LoadWith(container []byte, req LoadRequest) (LoadResponse, error) {
+	req.VBS = base64.StdEncoding.EncodeToString(container)
 	var out LoadResponse
 	err := c.do(http.MethodPost, "/tasks", req, &out)
 	return out, err
@@ -103,7 +108,14 @@ func (c *Client) Unload(id int64) error {
 func (c *Client) Relocate(id int64, x, y int) (TaskInfo, error) {
 	var out TaskInfo
 	err := c.do(http.MethodPost, fmt.Sprintf("/tasks/%d/relocate", id),
-		RelocateRequest{X: x, Y: y}, &out)
+		RelocateRequest{X: &x, Y: &y}, &out)
+	return out, err
+}
+
+// Compact defragments one fabric, returning how many tasks moved.
+func (c *Client) Compact(fabric int) (CompactResponse, error) {
+	var out CompactResponse
+	err := c.do(http.MethodPost, fmt.Sprintf("/fabrics/%d/compact", fabric), nil, &out)
 	return out, err
 }
 

@@ -10,12 +10,19 @@
 // decode entirely, and serializes mutations per fabric so any number
 // of concurrent clients can load, unload and relocate safely.
 //
+// Placement is delegated to the internal/sched policy layer: the
+// configured policy ranks the fabric pool and picks slots through the
+// controller's dry-run admission check, a load request may override
+// the policy per call, and when no fabric admits a task the daemon
+// compacts the most promising fabric and retries the placement once.
+//
 // # API
 //
-//	POST   /tasks                {"vbs": base64, "fabric"?, "x"?, "y"?}
+//	POST   /tasks                {"vbs": base64, "fabric"?, "x"?, "y"?, "policy"?}
 //	GET    /tasks                list loaded tasks
 //	DELETE /tasks/{id}           unload
 //	POST   /tasks/{id}/relocate  {"x":, "y":}
+//	POST   /fabrics/{i}/compact  defragment one fabric
 //	GET    /fabrics              pool occupancy
 //	GET    /stats                counters, cache and latency figures
 //	GET    /healthz              liveness probe
@@ -24,6 +31,7 @@ package server
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -34,6 +42,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/fabric"
+	"repro/internal/sched"
 	"repro/internal/server/store"
 )
 
@@ -49,6 +58,9 @@ type Options struct {
 	// DecodeWorkers sets the de-virtualization worker count per decode
 	// (0 = GOMAXPROCS).
 	DecodeWorkers int
+	// Policy names the default placement policy (see sched.Names);
+	// empty selects sched.Default (emptiest-fabric).
+	Policy string
 }
 
 // Server manages a pool of fabrics behind the HTTP API. Create one
@@ -59,16 +71,20 @@ type Server struct {
 	cache   *store.Cache[*controller.Decoded]
 	flight  *store.Flight[*controller.Decoded]
 	workers int
+	policy  sched.Policy
 	start   time.Time
 
 	mu     sync.Mutex
 	tasks  map[int64]*task
 	nextID int64
 
-	decodes   atomic.Uint64
-	loadCount atomic.Uint64
-	loadNanos atomic.Int64
-	loadMax   atomic.Int64
+	decodes      atomic.Uint64
+	loadCount    atomic.Uint64
+	loadNanos    atomic.Int64
+	loadMax      atomic.Int64
+	compactions  atomic.Uint64
+	compactMoved atomic.Uint64
+	retryLoads   atomic.Uint64
 }
 
 // task maps a server task id to its fabric-level identity.
@@ -86,6 +102,10 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 	if len(ctrls) == 0 {
 		return nil, fmt.Errorf("server: empty fabric pool")
 	}
+	pol, err := sched.New(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		ctrls: ctrls,
 		store: store.NewBounded(opts.StoreBytes),
@@ -93,6 +113,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 			func(d *controller.Decoded) int64 { return int64(d.SizeBits()) }),
 		flight:  store.NewFlight[*controller.Decoded](),
 		workers: opts.DecodeWorkers,
+		policy:  pol,
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
 	}, nil
@@ -105,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /tasks", s.handleListTasks)
 	mux.HandleFunc("DELETE /tasks/{id}", s.handleUnload)
 	mux.HandleFunc("POST /tasks/{id}/relocate", s.handleRelocate)
+	mux.HandleFunc("POST /fabrics/{i}/compact", s.handleCompact)
 	mux.HandleFunc("GET /fabrics", s.handleFabrics)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -173,29 +195,68 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	candidates, err := s.candidateFabrics(req.Fabric)
+	pol := s.policy
+	if req.Policy != "" {
+		if pol, err = sched.New(req.Policy); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	sreq := sched.Request{W: ent.VBS.TaskW, H: ent.VBS.TaskH}
+	candidates, err := s.candidateFabrics(req.Fabric, pol, sreq)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var (
-		placed  *controller.Task
-		onIndex int
-		lastErr error
-	)
-	for _, fi := range candidates {
-		c := s.ctrls[fi]
-		var t *controller.Task
-		if req.X != nil {
-			t, err = c.LoadDecodedAt(dec, *req.X, *req.Y)
-		} else {
-			t, err = c.LoadDecoded(dec)
+	// noSlot collects, in policy-preference order, the fabrics whose
+	// failure was lack of a conflict-free slot — the only failure mode
+	// compaction can fix. Structural refusals (architecture mismatch)
+	// would fail identically on a defragmented fabric and must neither
+	// trigger a retry nor steer it at the wrong fabric.
+	var noSlot []int
+	tryPlace := func() (*controller.Task, int, error) {
+		noSlot = noSlot[:0] // each pass reports its own failures
+		var lastErr error
+		for _, fi := range candidates {
+			c := s.ctrls[fi]
+			var t *controller.Task
+			var err error
+			if req.X != nil {
+				t, err = c.LoadDecodedAt(dec, *req.X, *req.Y)
+			} else {
+				t, err = c.LoadDecodedPolicy(dec, pol)
+			}
+			if err == nil {
+				return t, fi, nil
+			}
+			if errors.Is(err, controller.ErrNoSlot) {
+				noSlot = append(noSlot, fi)
+			}
+			lastErr = err
 		}
-		if err == nil {
-			placed, onIndex = t, fi
-			break
+		return nil, 0, lastErr
+	}
+	placed, onIndex, lastErr := tryPlace()
+	compacted := false
+	if placed == nil && req.X == nil {
+		// Auto-compaction retry: defragment the most promising fabric
+		// (first capacity-failed fabric in policy order with enough
+		// total free space) and give the placement one more chance.
+		// Pinned positions are exempt — compaction could relocate other
+		// tasks into the requested slot.
+		if fi, ok := s.compactTarget(noSlot, sreq); ok {
+			moved, cerr := s.ctrls[fi].Compact()
+			s.compactions.Add(1)
+			s.compactMoved.Add(uint64(moved))
+			if cerr != nil {
+				writeError(w, http.StatusInternalServerError, "compaction failed: %v", cerr)
+				return
+			}
+			if placed, onIndex, lastErr = tryPlace(); placed != nil {
+				compacted = true
+				s.retryLoads.Add(1)
+			}
 		}
-		lastErr = err
 	}
 	if placed == nil {
 		writeError(w, http.StatusConflict, "no fabric accepted the task: %v", lastErr)
@@ -229,30 +290,47 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		Cached:           cached,
 		CompressionRatio: ent.VBS.CompressionRatio(),
 		LoadMS:           float64(elapsed) / float64(time.Millisecond),
+		Compacted:        compacted,
 	})
 }
 
 // candidateFabrics returns fabric indices in placement-preference
-// order: the pinned fabric alone, or every fabric sorted emptiest
-// first so the pool stays balanced.
-func (s *Server) candidateFabrics(pinned *int) ([]int, error) {
+// order: the pinned fabric alone, or the pool ranked by the policy.
+func (s *Server) candidateFabrics(pinned *int, pol sched.Policy, req sched.Request) ([]int, error) {
 	if pinned != nil {
 		if *pinned < 0 || *pinned >= len(s.ctrls) {
 			return nil, fmt.Errorf("fabric %d out of range [0,%d)", *pinned, len(s.ctrls))
 		}
 		return []int{*pinned}, nil
 	}
-	type cand struct{ idx, free int }
-	cands := make([]cand, len(s.ctrls))
+	stats := make([]sched.FabricStat, len(s.ctrls))
 	for i, c := range s.ctrls {
-		cands[i] = cand{i, c.Stats().FreeMacros}
+		g := c.Fabric().Grid()
+		stats[i] = sched.FabricStat{
+			Index:      i,
+			Width:      g.Width,
+			Height:     g.Height,
+			FreeMacros: c.Stats().FreeMacros,
+		}
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].free > cands[b].free })
-	out := make([]int, len(cands))
-	for i, c := range cands {
-		out[i] = c.idx
+	return pol.RankFabrics(stats, req), nil
+}
+
+// compactTarget picks the fabric to defragment for a failed placement:
+// the first capacity-failed candidate (in policy-preference order)
+// whose total free space could hold the task, so compaction at least
+// has a chance of coalescing a large-enough region.
+func (s *Server) compactTarget(noSlot []int, req sched.Request) (int, bool) {
+	for _, fi := range noSlot {
+		g := s.ctrls[fi].Fabric().Grid()
+		if g.Width < req.W || g.Height < req.H {
+			continue
+		}
+		if s.ctrls[fi].Stats().FreeMacros >= req.Area() {
+			return fi, true
+		}
 	}
-	return out, nil
+	return 0, false
 }
 
 // taskFromPath resolves {id} or replies 404/400.
@@ -288,6 +366,17 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	delete(s.tasks, t.id)
 	s.mu.Unlock()
 	if err := s.ctrls[t.fabric].Unload(t.fid); err != nil {
+		// Resurrect the API entry only while the controller still holds
+		// the task: then its fabric region is still occupied and must
+		// not become invisible (and unreclaimable) over HTTP. If the
+		// controller does not know the task (the fid is already gone),
+		// the region is free and the entry must stay deleted, or every
+		// future DELETE would 500 on an undeletable phantom.
+		if _, held := s.ctrls[t.fabric].Task(t.fid); held {
+			s.mu.Lock()
+			s.tasks[t.id] = t
+			s.mu.Unlock()
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -304,7 +393,13 @@ func (s *Server) handleRelocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if err := s.ctrls[t.fabric].Relocate(t.fid, req.X, req.Y); err != nil {
+	// Both coordinates are required: a partial or empty body must not
+	// silently relocate the task to (0,0).
+	if req.X == nil || req.Y == nil {
+		writeError(w, http.StatusBadRequest, "x and y are required")
+		return
+	}
+	if err := s.ctrls[t.fabric].Relocate(t.fid, *req.X, *req.Y); err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -358,6 +453,26 @@ func (s *Server) handleFabrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.fabricInfos())
 }
 
+// handleCompact defragments one fabric on demand — the explicit form
+// of the auto-compaction retry.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil || i < 0 || i >= len(s.ctrls) {
+		writeError(w, http.StatusNotFound, "fabric %q not in pool", r.PathValue("i"))
+		return
+	}
+	moved, cerr := s.ctrls[i].Compact()
+	s.compactions.Add(1)
+	s.compactMoved.Add(uint64(moved))
+	if cerr != nil {
+		// A propagated restore failure means a task lost its fabric
+		// region mid-compaction: surface it loudly.
+		writeError(w, http.StatusInternalServerError, "%v", cerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{Fabric: i, Moved: moved})
+}
+
 // Stats assembles the daemon-wide snapshot served at /stats.
 func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
@@ -384,6 +499,12 @@ func (s *Server) Stats() StatsResponse {
 		Relocations:   relocs,
 		Decodes:       s.decodes.Load(),
 		LoadLatency:   lat,
+		Placement: PlacementInfo{
+			Policy:         s.policy.Name(),
+			Compactions:    s.compactions.Load(),
+			TasksMoved:     s.compactMoved.Load(),
+			RetrySuccesses: s.retryLoads.Load(),
+		},
 		Cache: CacheInfo{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,

@@ -2,10 +2,15 @@ package server_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/arch"
+	"repro/internal/controller"
+	"repro/internal/fabric"
 	"repro/internal/server"
 )
 
@@ -258,4 +263,351 @@ func TestBadRequests(t *testing.T) {
 	x := 3
 	_, err = cl.Load(data, nil, &x, nil)
 	check(err, "400", "x without y")
+}
+
+// TestUnloadControllerFailure: a controller-refused unload must be
+// surfaced as an error, and afterwards the API task list must still
+// match fabric occupancy exactly — the seed deleted the entry before
+// asking the controller, so an error orphaned whatever the task still
+// owned; conversely the entry must not be resurrected once the region
+// is genuinely free, or the phantom could never be deleted again.
+func TestUnloadControllerFailure(t *testing.T) {
+	ctrls := newPool(1, 16)
+	srv, err := server.New(ctrls, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cl := server.NewClient(hs.URL, hs.Client())
+
+	data, err := makeVBS(1, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: unload the fabric-level task behind the daemon's back,
+	// so the daemon's own unload will fail at the controller.
+	fid := ctrls[res.Fabric].Fabric().OwnerAt(res.X, res.Y)
+	if err := ctrls[res.Fabric].Unload(fid); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unload(res.ID); err == nil {
+		t.Fatal("unload reported success despite controller failure")
+	} else if !strings.Contains(err.Error(), "500") {
+		t.Fatalf("unload error = %v, want 500", err)
+	}
+	// The controller no longer held the task, so its region is free:
+	// the entry must be gone (not resurrected into an undeletable
+	// phantom) and the list must again match fabric occupancy.
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Fatalf("tasks after failed unload of a freed region = %+v, want none", tasks)
+	}
+	if used := ctrls[res.Fabric].Fabric().UsedMacros(); used != 0 {
+		t.Fatalf("fabric owns %d macros with no task listed", used)
+	}
+	if err := cl.Unload(res.ID); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("second unload error = %v, want 404", err)
+	}
+}
+
+// TestRelocateRequiresCoordinates: an empty or partial body must be a
+// 400, not a silent move to (0,0).
+func TestRelocateRequiresCoordinates(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{})
+	data, err := makeVBS(1, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := 8, 8
+	res, err := cl.Load(data, nil, &x, &y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range []string{`{}`, `{"x": 0}`, `{"y": 0}`} {
+		resp, err := http.Post(cl.Base()+fmt.Sprintf("/tasks/%d/relocate", res.ID),
+			"application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// The task must not have moved.
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].X != 8 || tasks[0].Y != 8 {
+		t.Errorf("task moved to (%d,%d) by rejected requests", tasks[0].X, tasks[0].Y)
+	}
+	// A complete body still works, including an explicit (0,0).
+	if _, err := cl.Relocate(res.ID, 0, 0); err != nil {
+		t.Fatalf("explicit relocate to origin: %v", err)
+	}
+}
+
+// fragmentedDaemon builds a single 28x6 fabric holding three 6x6 tasks
+// with sub-task-width gaps between them: total free space fits another
+// 6x6 task but no contiguous slot does, so only compaction can admit
+// it.
+func fragmentedDaemon(t *testing.T) (*server.Client, *server.Server, []byte) {
+	t.Helper()
+	f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 28, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New([]*controller.Controller{controller.New(f, 2)}, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cl := server.NewClient(hs.URL, hs.Client())
+
+	y := 0
+	for i, x := range []int{0, 9, 18} {
+		data, err := makeVBS(int64(i+1), 12, 4, 8, 1).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := x
+		if _, err := cl.Load(data, nil, &x, &y); err != nil {
+			t.Fatalf("blocker at x=%d: %v", x, err)
+		}
+	}
+	data, err := makeVBS(9, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, srv, data
+}
+
+// TestAutoCompactionRetry: a load that no fabric admits must trigger
+// compaction and succeed on the retry, with the stats counters
+// recording it.
+func TestAutoCompactionRetry(t *testing.T) {
+	cl, _, data := fragmentedDaemon(t)
+	res, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("load on fragmented fabric: %v", err)
+	}
+	if !res.Compacted {
+		t.Error("load did not report the compaction retry")
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement.Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1", st.Placement.Compactions)
+	}
+	if st.Placement.TasksMoved == 0 {
+		t.Error("TasksMoved = 0 after a compaction that made room")
+	}
+	if st.Placement.RetrySuccesses != 1 {
+		t.Errorf("RetrySuccesses = %d, want 1", st.Placement.RetrySuccesses)
+	}
+	if st.Tasks != 4 {
+		t.Errorf("Tasks = %d, want 4", st.Tasks)
+	}
+}
+
+// TestExplicitCompact: POST /fabrics/{i}/compact defragments on
+// demand; out-of-range indices are 404.
+func TestExplicitCompact(t *testing.T) {
+	cl, _, data := fragmentedDaemon(t)
+	res, err := cl.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fabric != 0 || res.Moved == 0 {
+		t.Errorf("Compact = %+v, want fabric 0 with tasks moved", res)
+	}
+	// After explicit compaction the fragmented load fits first try.
+	load, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("load after explicit compact: %v", err)
+	}
+	if load.Compacted {
+		t.Error("load needed a second compaction after an explicit one")
+	}
+	if _, err := cl.Compact(7); err == nil {
+		t.Error("out-of-range fabric index accepted")
+	} else if !strings.Contains(err.Error(), "404") {
+		t.Errorf("out-of-range compact error = %v, want 404", err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement.Compactions != 1 || st.Placement.RetrySuccesses != 0 {
+		t.Errorf("placement stats = %+v", st.Placement)
+	}
+}
+
+// TestPolicySelection: the policy request field steers placement and
+// unknown names are rejected; the server-wide default is reported in
+// /stats.
+func TestPolicySelection(t *testing.T) {
+	cl, _ := newTestDaemon(t, 2, 16, server.Options{Policy: "first-fit"})
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement.Policy != "first-fit" {
+		t.Errorf("default policy = %q", st.Placement.Policy)
+	}
+	data, err := makeVBS(1, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.LoadWith(data, server.LoadRequest{Policy: "no-such-policy"}); err == nil {
+		t.Error("unknown policy accepted")
+	} else if !strings.Contains(err.Error(), "400") {
+		t.Errorf("unknown policy error = %v, want 400", err)
+	}
+	// best-fit on an empty pool packs into a corner of fabric 0.
+	res, err := cl.LoadWith(data, server.LoadRequest{Policy: "best-fit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X != 0 || res.Y != 0 {
+		t.Errorf("best-fit first task at (%d,%d), want the corner", res.X, res.Y)
+	}
+	// Unknown server-wide policy is a construction error.
+	if _, err := server.New(newPool(1, 8), server.Options{Policy: "bogus"}); err == nil {
+		t.Error("server accepted unknown default policy")
+	}
+}
+
+// TestConcurrentDeleteRelocateLoad hammers one task id with DELETE and
+// relocate storms while fresh loads of the same container race them;
+// run under -race. Afterwards fabric occupancy must exactly match the
+// listed tasks (no orphaned regions) and the deleted task must stay
+// deleted (no resurrection).
+func TestConcurrentDeleteRelocateLoad(t *testing.T) {
+	ctrls := newPool(2, 16)
+	srv, err := server.New(ctrls, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cl := server.NewClient(hs.URL, hs.Client())
+
+	data, err := makeVBS(1, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, iters = 3, 6
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = cl.Unload(victim.ID) // first wins, the rest must 404
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, _ = cl.Relocate(victim.ID, (g*iters+i)%10, (g*iters+i)%10)
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, _ = cl.Load(data, nil, nil, nil) // may 409 when full
+			}
+		}()
+	}
+	wg.Wait()
+
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	areaOn := make(map[int]int)
+	for _, ti := range tasks {
+		if ti.ID == victim.ID {
+			t.Errorf("deleted task %d resurrected", victim.ID)
+		}
+		areaOn[ti.Fabric] += ti.TaskW * ti.TaskH
+	}
+	for fi, c := range ctrls {
+		if used := c.Fabric().UsedMacros(); used != areaOn[fi] {
+			t.Errorf("fabric %d: %d macros owned, tasks account for %d (orphaned occupancy)",
+				fi, used, areaOn[fi])
+		}
+	}
+	// Full teardown: nothing may linger.
+	for _, ti := range tasks {
+		if err := cl.Unload(ti.ID); err != nil {
+			t.Fatalf("cleanup unload %d: %v", ti.ID, err)
+		}
+	}
+	for fi, c := range ctrls {
+		if used := c.Fabric().UsedMacros(); used != 0 {
+			t.Errorf("fabric %d: %d macros owned after full teardown", fi, used)
+		}
+	}
+	if rest, _ := cl.Tasks(); len(rest) != 0 {
+		t.Errorf("tasks after teardown: %+v", rest)
+	}
+}
+
+// TestNoCompactionOnStructuralFailure: a load that can never succeed
+// (architecture mismatch) must not trigger the auto-compaction retry
+// and physically shuffle tasks on a healthy fabric.
+func TestNoCompactionOnStructuralFailure(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{}) // pool is W=8
+	good, err := makeVBS(1, 12, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Load(good, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same grid, wrong channel width: decodes fine, can never place.
+	wrong, err := makeVBS(2, 12, 4, 10, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Load(wrong, nil, nil, nil); err == nil {
+		t.Fatal("architecture-mismatched load accepted")
+	} else if !strings.Contains(err.Error(), "409") {
+		t.Fatalf("mismatch error = %v, want 409", err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement.Compactions != 0 || st.Placement.TasksMoved != 0 {
+		t.Errorf("structural failure triggered compaction: %+v", st.Placement)
+	}
+	// The loaded task was not shuffled.
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].X != res.X || tasks[0].Y != res.Y {
+		t.Errorf("tasks after refused load = %+v", tasks)
+	}
 }

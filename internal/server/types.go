@@ -7,11 +7,15 @@ type LoadRequest struct {
 	// VBS is the base64 (standard encoding) VBS container.
 	VBS string `json:"vbs"`
 	// Fabric optionally pins the task to one fabric index; nil lets
-	// the daemon pick the emptiest fabric that fits.
+	// the placement policy rank the pool.
 	Fabric *int `json:"fabric,omitempty"`
 	// X, Y optionally pin the task position (both or neither).
 	X *int `json:"x,omitempty"`
 	Y *int `json:"y,omitempty"`
+	// Policy optionally overrides the server's placement policy for
+	// this load ("first-fit", "best-fit", "emptiest"); empty uses the
+	// server default.
+	Policy string `json:"policy,omitempty"`
 }
 
 // LoadResponse describes a placed task.
@@ -30,12 +34,25 @@ type LoadResponse struct {
 	CompressionRatio float64 `json:"compression_ratio"`
 	// LoadMS is the server-side latency of this load in milliseconds.
 	LoadMS float64 `json:"load_ms"`
+	// Compacted reports that the load only succeeded after the
+	// auto-compaction retry defragmented a fabric.
+	Compacted bool `json:"compacted,omitempty"`
 }
 
-// RelocateRequest is the body of POST /tasks/{id}/relocate.
+// RelocateRequest is the body of POST /tasks/{id}/relocate. X and Y
+// are pointers so a missing coordinate is distinguishable from an
+// explicit 0: both are required, and the daemon rejects a partial or
+// empty body instead of silently moving the task to the origin.
 type RelocateRequest struct {
-	X int `json:"x"`
-	Y int `json:"y"`
+	X *int `json:"x"`
+	Y *int `json:"y"`
+}
+
+// CompactResponse is the body of POST /fabrics/{i}/compact.
+type CompactResponse struct {
+	Fabric int `json:"fabric"`
+	// Moved is the number of tasks relocated toward the origin.
+	Moved int `json:"moved"`
 }
 
 // TaskInfo describes one loaded task in GET /tasks.
@@ -83,18 +100,32 @@ type StoreInfo struct {
 	MeanCompressionRatio float64 `json:"mean_compression_ratio"`
 }
 
+// PlacementInfo summarizes the placement engine in GET /stats.
+type PlacementInfo struct {
+	// Policy is the server's default placement policy.
+	Policy string `json:"policy"`
+	// Compactions counts Compact runs (explicit and auto-retry).
+	Compactions uint64 `json:"compactions"`
+	// TasksMoved counts tasks relocated by those compactions.
+	TasksMoved uint64 `json:"tasks_moved"`
+	// RetrySuccesses counts loads that only succeeded after the
+	// auto-compaction retry.
+	RetrySuccesses uint64 `json:"retry_successes"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Tasks         int          `json:"tasks"`
-	Loads         uint64       `json:"loads"`
-	Unloads       uint64       `json:"unloads"`
-	Relocations   uint64       `json:"relocations"`
-	Decodes       uint64       `json:"decodes"`
-	LoadLatency   LatencyStats `json:"load_latency"`
-	Cache         CacheInfo    `json:"cache"`
-	Store         StoreInfo    `json:"store"`
-	Fabrics       []FabricInfo `json:"fabrics"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Tasks         int           `json:"tasks"`
+	Loads         uint64        `json:"loads"`
+	Unloads       uint64        `json:"unloads"`
+	Relocations   uint64        `json:"relocations"`
+	Decodes       uint64        `json:"decodes"`
+	LoadLatency   LatencyStats  `json:"load_latency"`
+	Placement     PlacementInfo `json:"placement"`
+	Cache         CacheInfo     `json:"cache"`
+	Store         StoreInfo     `json:"store"`
+	Fabrics       []FabricInfo  `json:"fabrics"`
 }
 
 // errorResponse is the body of every non-2xx reply.
