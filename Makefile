@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server/... ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
+
+# bench runs the decode scoreboard benchmarks and refreshes the
+# committed perf baseline BENCH_decode.json (benchmark name -> ns/op,
+# MB/s, B/op, allocs/op). Commit the refreshed file with perf PRs so
+# the repo keeps a trajectory.
+# Two steps (not a pipeline) so a failing benchmark run cannot
+# silently overwrite the baseline with partial results.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkDecode$$|BenchmarkParallelDecode$$' -benchmem -count=1 . > bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_decode.json < bench.out
+	rm -f bench.out
+
+# bench-smoke is the CI guard: every decode benchmark must still run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkDecode$$|BenchmarkParallelDecode$$' -benchtime 1x .

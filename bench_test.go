@@ -7,6 +7,7 @@ package repro
 // the full tables, including at full Table II sizes with -scale 1.
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -169,6 +170,29 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelDecode measures the concurrent entry-level decode
+// (the controller's fan-out, one pooled router per in-flight region)
+// against the same per-cluster-size workload as BenchmarkDecode.
+func BenchmarkParallelDecode(b *testing.B) {
+	for _, cluster := range []int{1, 2, 4} {
+		b.Run(clusterName(cluster), func(b *testing.B) {
+			st := compiled(b, "apex4")
+			v, _, err := core.Encode(st.design, st.pl, st.res, core.EncodeOptions{Cluster: cluster})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(v.RawSizeBits() / 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.DecodeParallel(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLZSS regenerates the related-work baseline: LZSS over the
 // raw bitstream (refs [1,2] of the paper). The ratio metric compares
 // with Fig. 4's VBS ratios.
@@ -239,5 +263,5 @@ func BenchmarkFullFlow(b *testing.B) {
 }
 
 func clusterName(c int) string {
-	return "c=" + string(rune('0'+c))
+	return "c=" + strconv.Itoa(c)
 }

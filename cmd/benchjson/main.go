@@ -1,0 +1,42 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// small JSON file mapping benchmark name to its metrics (ns/op, MB/s,
+// B/op, allocs/op). `make bench` pipes the decode benchmarks through it
+// to produce BENCH_decode.json, the committed perf baseline that gives
+// future changes a trajectory to compare against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	input, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := Parse(string(input))
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	data, err := Marshal(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
+}

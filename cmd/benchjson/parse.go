@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. Unreported metrics stay
+// zero and are omitted from the JSON.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Parse extracts benchmark results from `go test -bench` output. Lines
+// look like:
+//
+//	BenchmarkDecode/c=2-8   138   8770593 ns/op   0.92 MB/s   837057 B/op   81832 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name so
+// baselines compare across machines.
+func Parse(out string) map[string]Result {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, ok = v, true
+			case "MB/s":
+				r.MBPerSec = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if !ok {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		results[name] = r
+	}
+	return results
+}
+
+// Marshal renders the results deterministically (sorted names, stable
+// indentation) so the committed baseline diffs cleanly.
+func Marshal(results map[string]Result) ([]byte, error) {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, name := range names {
+		entry, err := json.Marshal(results[name])
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString("  ")
+		key, _ := json.Marshal(name)
+		buf.Write(key)
+		buf.WriteString(": ")
+		buf.Write(entry)
+		if i < len(names)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDecode/c=1-8         	    1999	    577099 ns/op	  13.92 MB/s	   12352 B/op	     194 allocs/op
+BenchmarkDecode/c=2-8         	     482	   2644525 ns/op	   3.04 MB/s	   12352 B/op	     194 allocs/op
+BenchmarkEq1-8                	 1000000	      1042 ns/op
+not a benchmark line
+PASS
+ok  	repro	4.816s
+`
+
+func TestParse(t *testing.T) {
+	got := Parse(sample)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(got))
+	}
+	c2, ok := got["BenchmarkDecode/c=2"]
+	if !ok {
+		t.Fatalf("missing BenchmarkDecode/c=2 (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if c2.Iterations != 482 || c2.NsPerOp != 2644525 || c2.MBPerSec != 3.04 ||
+		c2.BytesPerOp != 12352 || c2.AllocsPerOp != 194 {
+		t.Errorf("c=2 parsed as %+v", c2)
+	}
+	eq1 := got["BenchmarkEq1"]
+	if eq1.NsPerOp != 1042 || eq1.AllocsPerOp != 0 {
+		t.Errorf("metric-less benchmark parsed as %+v", eq1)
+	}
+}
+
+func TestMarshalDeterministicAndValid(t *testing.T) {
+	results := Parse(sample)
+	a, err := Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("Marshal is not deterministic")
+	}
+	var back map[string]Result
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, a)
+	}
+	if len(back) != len(results) {
+		t.Errorf("round trip lost entries: %d vs %d", len(back), len(results))
+	}
+	names := []string{"BenchmarkDecode/c=1", "BenchmarkDecode/c=2", "BenchmarkEq1"}
+	prev := -1
+	for _, n := range names {
+		i := strings.Index(string(a), n)
+		if i < prev {
+			t.Errorf("names not sorted in output:\n%s", a)
+		}
+		prev = i
+	}
+}

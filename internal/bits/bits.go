@@ -256,6 +256,38 @@ func (v *Vec) Or(o *Vec) {
 	}
 }
 
+// OrAt ORs every bit of src into v starting at bit offset off:
+// v[off+i] |= src[i] for i in [0, src.Len()). The merge runs word at a
+// time (shifting when off is not word-aligned), relying on the Vec
+// invariant that bits beyond Len() in the last word are zero — every
+// constructor and mutator in this package preserves it. This is the
+// decode hot path's merge primitive: routed switch words, logic
+// payloads and raw fallbacks are OR-ed straight into the target
+// configuration without any per-bit loop.
+func (v *Vec) OrAt(src *Vec, off int) {
+	if off < 0 || off+src.n > v.n {
+		panic(fmt.Sprintf("bits: OrAt range [%d,%d) outside [0,%d)", off, off+src.n, v.n))
+	}
+	if src.n == 0 {
+		return
+	}
+	w, sh := off/64, uint(off%64)
+	if sh == 0 {
+		for i, sw := range src.words {
+			v.words[w+i] |= sw
+		}
+		return
+	}
+	for i, sw := range src.words {
+		v.words[w+i] |= sw << sh
+		// High part spills into the next word; it is zero at the vector
+		// end because src's spare bits are zero.
+		if hi := sw >> (64 - sh); hi != 0 {
+			v.words[w+i+1] |= hi
+		}
+	}
+}
+
 // Clear zeroes every bit.
 func (v *Vec) Clear() {
 	for i := range v.words {

@@ -367,3 +367,45 @@ func BenchmarkVecSetGet(b *testing.B) {
 		_ = v.Get((i * 7) % 1024)
 	}
 }
+
+// TestOrAtMatchesBitLoop checks the word-level merge against the
+// obvious per-bit reference for aligned and unaligned offsets,
+// including offsets that make source words straddle destination words.
+func TestOrAtMatchesBitLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		dstLen := rng.Intn(400) + 1
+		srcLen := rng.Intn(dstLen + 1)
+		off := 0
+		if dstLen > srcLen {
+			off = rng.Intn(dstLen - srcLen + 1)
+		}
+		dst := NewVec(dstLen)
+		src := NewVec(srcLen)
+		for i := 0; i < dstLen; i++ {
+			dst.Set(i, rng.Intn(2) == 0)
+		}
+		for i := 0; i < srcLen; i++ {
+			src.Set(i, rng.Intn(2) == 0)
+		}
+		want := dst.Clone()
+		for i := 0; i < srcLen; i++ {
+			if src.Get(i) {
+				want.Set(off+i, true)
+			}
+		}
+		dst.OrAt(src, off)
+		if !dst.Equal(want) {
+			t.Fatalf("trial %d: OrAt(len %d, off %d) into len %d differs", trial, srcLen, off, dstLen)
+		}
+	}
+}
+
+func TestOrAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("OrAt past the end should panic")
+		}
+	}()
+	NewVec(64).OrAt(NewVec(10), 60)
+}

@@ -110,57 +110,30 @@ func (d *Decoded) SizeBits() int {
 }
 
 // DecodeVBS de-virtualizes every entry of the VBS concurrently with
-// the given worker count (0 selects GOMAXPROCS). Each region decodes
-// independently (the property Section II-C calls out), so the work
-// distributes over the workers; the result is deterministic regardless
-// of worker count. DecodeVBS needs no fabric: it is the cache-friendly
-// entry point shared by every controller.
+// the given worker count (0 selects GOMAXPROCS), through
+// core.VBS.EachEntryParallel — the same fan-out the in-place decoders
+// use. Each worker draws region routers from the shape-keyed pool and
+// copies the decoded member configurations out before releasing the
+// router (the Configs ownership contract), so the Decoded it builds
+// owns its bits outright and may be cached and shared freely. The
+// result is deterministic regardless of worker count. DecodeVBS needs
+// no fabric: it is the cache-friendly entry point shared by every
+// controller.
 func DecodeVBS(v *core.VBS, workers int) (*Decoded, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := len(v.Entries)
-	cfgs := make([][]*arch.MacroConfig, n)
-	if n == 0 {
-		return &Decoded{VBS: v, cfgs: cfgs}, nil
-	}
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out, err := v.DecodeEntry(i)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("controller: entry %d: %w", i, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				cfgs[i] = out
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	cfgs := make([][]*arch.MacroConfig, len(v.Entries))
+	err := v.EachEntryParallel(workers, func(i int) error {
+		out, err := v.DecodeEntry(i)
+		if err != nil {
+			return fmt.Errorf("controller: entry %d: %w", i, err)
+		}
+		cfgs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Decoded{VBS: v, cfgs: cfgs}, nil
 }

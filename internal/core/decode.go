@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/bitstream"
@@ -29,8 +32,55 @@ func (v *VBS) Decode() (*bitstream.Raw, error) {
 
 // DecodeInto de-virtualizes the task into an existing fabric
 // configuration with the task's south-west macro at (x0, y0). The
-// target must be large enough to hold the task.
+// target must be large enough to hold the task. Entries decode
+// in-place through pooled region routers: at steady state the only
+// writes are word-level ORs into the target's bit vectors and nothing
+// is allocated.
 func (v *VBS) DecodeInto(target *bitstream.Raw, x0, y0 int) error {
+	if err := v.checkTarget(target, x0, y0); err != nil {
+		return err
+	}
+	for i := range v.Entries {
+		if err := v.DecodeEntryInto(i, target, x0, y0); err != nil {
+			return fmt.Errorf("core: entry %d at region (%d,%d): %w",
+				i, v.Entries[i].X, v.Entries[i].Y, err)
+		}
+	}
+	return nil
+}
+
+// DecodeParallel is Decode with entries de-virtualized concurrently by
+// the given worker count (0 selects GOMAXPROCS). Entries cover
+// disjoint macros, so workers write disjoint target vectors; the
+// result is bit-identical to Decode regardless of worker count. The
+// encoder's feedback verification runs through this path.
+func (v *VBS) DecodeParallel(workers int) (*bitstream.Raw, error) {
+	g := arch.Grid{Width: v.TaskW, Height: v.TaskH}
+	out := bitstream.New(v.P, g)
+	if err := v.DecodeIntoParallel(out, 0, 0, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeIntoParallel is DecodeInto with entries decoded concurrently
+// by the given worker count (0 selects GOMAXPROCS).
+func (v *VBS) DecodeIntoParallel(target *bitstream.Raw, x0, y0, workers int) error {
+	if err := v.checkTarget(target, x0, y0); err != nil {
+		return err
+	}
+	return v.EachEntryParallel(workers, func(i int) error {
+		if err := v.DecodeEntryInto(i, target, x0, y0); err != nil {
+			return fmt.Errorf("core: entry %d at region (%d,%d): %w",
+				i, v.Entries[i].X, v.Entries[i].Y, err)
+		}
+		return nil
+	})
+}
+
+// checkTarget validates the VBS and the placement rectangle once per
+// whole-task decode.
+func (v *VBS) checkTarget(target *bitstream.Raw, x0, y0 int) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
@@ -41,13 +91,63 @@ func (v *VBS) DecodeInto(target *bitstream.Raw, x0, y0 int) error {
 		return fmt.Errorf("core: task %dx%d at (%d,%d) exceeds %dx%d fabric",
 			v.TaskW, v.TaskH, x0, y0, target.G.Width, target.G.Height)
 	}
-	for i := range v.Entries {
-		if err := v.decodeEntry(&v.Entries[i], target, x0, y0); err != nil {
-			return fmt.Errorf("core: entry %d at region (%d,%d): %w",
-				i, v.Entries[i].X, v.Entries[i].Y, err)
-		}
-	}
 	return nil
+}
+
+// EachEntryParallel runs fn for every entry index, distributing the
+// calls over the given worker count (0 selects GOMAXPROCS). Entries
+// decode independently (the property Section II-C calls out), so this
+// is the fan-out shared by whole-task parallel decodes here and by the
+// runtime controller's Decoded builder. When several entries fail, the
+// error of the lowest entry index is returned, so the outcome does not
+// depend on scheduling.
+func (v *VBS) EachEntryParallel(workers int, fn func(i int) error) error {
+	n := len(v.Entries)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Warm pre-builds the de-virtualization routing graphs for every
@@ -71,87 +171,125 @@ func (v *VBS) Warm() error {
 	return nil
 }
 
-// DecodeEntry decodes one entry in isolation and returns the
-// region's member configurations (row-major, actual members only).
-// This is the unit of work the parallel controller distributes.
+// DecodeEntryInto de-virtualizes entry i directly into the target
+// configuration, with the task's south-west macro at (x0, y0). Routed
+// switch words, logic payloads and raw fallback payloads are OR-ed
+// word-level into the target macros' bit vectors through a pooled
+// region router — no per-entry member configurations are
+// materialized. This is the decode hot path: the whole-task decoders
+// and the parallel controller both run on it.
+//
+// The caller is responsible for the placement rectangle being inside
+// the target (DecodeInto checks it once for the whole task).
+func (v *VBS) DecodeEntryInto(i int, target *bitstream.Raw, x0, y0 int) error {
+	if i < 0 || i >= len(v.Entries) {
+		return fmt.Errorf("core: entry %d out of range", i)
+	}
+	if target.P != v.P {
+		return fmt.Errorf("core: decode onto %v fabric, task compiled for %v", target.P, v.P)
+	}
+	e := &v.Entries[i]
+	cw, ch := v.RegionDims(e.X, e.Y)
+	baseX := x0 + e.X*v.Cluster
+	baseY := y0 + e.Y*v.Cluster
+	switch {
+	case e.Raw:
+		if len(e.RawBits) != cw*ch {
+			return fmt.Errorf("core: raw payload count %d, want %d", len(e.RawBits), cw*ch)
+		}
+		nlb := v.P.NLB()
+		for m, rb := range e.RawBits {
+			target.At(baseX+m%cw, baseY+m/cw).Vec().OrAt(rb, nlb)
+		}
+	case len(e.Conns) > 0:
+		rt, err := devirt.AcquireRouter(v.Region(e.X, e.Y), false, false)
+		if err != nil {
+			return err
+		}
+		if err := routeEntry(rt, e); err != nil {
+			rt.Release()
+			return err
+		}
+		for m := 0; m < cw*ch; m++ {
+			rt.MergeMember(m, target.At(baseX+m%cw, baseY+m/cw).Vec())
+		}
+		rt.Release()
+	}
+	for _, li := range e.Logic {
+		j, mi := li.Member/v.Cluster, li.Member%v.Cluster
+		if mi >= cw || j >= ch {
+			return fmt.Errorf("core: logic member %d outside %dx%d region", li.Member, cw, ch)
+		}
+		target.At(baseX+mi, baseY+j).Vec().OrAt(li.Data, 0)
+	}
+	return nil
+}
+
+// DecodeEntry decodes one entry in isolation and returns the region's
+// member configurations (row-major, actual members only), freshly
+// allocated — the pooled router's state is copied out before the
+// router is released, per the Configs ownership contract. This is the
+// materializing variant the controller's position-free Decoded cache
+// is built from; the in-place hot path is DecodeEntryInto.
 func (v *VBS) DecodeEntry(i int) ([]*arch.MacroConfig, error) {
 	if i < 0 || i >= len(v.Entries) {
 		return nil, fmt.Errorf("core: entry %d out of range", i)
 	}
 	e := &v.Entries[i]
 	cw, ch := v.RegionDims(e.X, e.Y)
-	cfgs, err := v.regionConfigs(e)
-	if err != nil {
-		return nil, err
+	cfgs := make([]*arch.MacroConfig, cw*ch)
+	for m := range cfgs {
+		cfgs[m] = arch.NewMacroConfig(v.P)
 	}
-	if len(cfgs) != cw*ch {
-		return nil, fmt.Errorf("core: entry %d decoded %d members, want %d", i, len(cfgs), cw*ch)
-	}
-	return cfgs, nil
-}
-
-func (v *VBS) decodeEntry(e *Entry, target *bitstream.Raw, x0, y0 int) error {
-	cfgs, err := v.regionConfigs(e)
-	if err != nil {
-		return err
-	}
-	cw, ch := v.RegionDims(e.X, e.Y)
-	baseX := x0 + e.X*v.Cluster
-	baseY := y0 + e.Y*v.Cluster
-	for j := 0; j < ch; j++ {
-		for i := 0; i < cw; i++ {
-			src := cfgs[j*cw+i].Vec()
-			dst := target.At(baseX+i, baseY+j).Vec()
-			if dst.Len() != src.Len() {
-				return fmt.Errorf("core: member config size mismatch")
-			}
-			dst.Or(src)
+	switch {
+	case e.Raw:
+		if len(e.RawBits) != cw*ch {
+			return nil, fmt.Errorf("core: entry %d raw payload count %d, want %d", i, len(e.RawBits), cw*ch)
 		}
-	}
-	return nil
-}
-
-// regionConfigs materializes an entry's member configurations: logic
-// data merged with either the de-virtualized routing or the raw
-// payload.
-func (v *VBS) regionConfigs(e *Entry) ([]*arch.MacroConfig, error) {
-	cw, ch := v.RegionDims(e.X, e.Y)
-	var cfgs []*arch.MacroConfig
-	if e.Raw {
-		cfgs = make([]*arch.MacroConfig, cw*ch)
 		for m := range cfgs {
-			cfgs[m] = arch.NewMacroConfig(v.P)
 			cfgs[m].SetRoutingBits(e.RawBits[m])
 		}
-	} else {
-		reg := v.Region(e.X, e.Y)
-		rt, err := devirt.NewRouter(reg, false, false)
+	case len(e.Conns) > 0:
+		rt, err := devirt.AcquireRouter(v.Region(e.X, e.Y), false, false)
 		if err != nil {
 			return nil, err
 		}
-		// Endpoint reservation: the whole list is known before routing
-		// starts, so no connection may route through another's terminal.
-		for _, c := range e.Conns {
-			if err := rt.Reserve(c.In); err != nil {
-				return nil, err
-			}
-			if err := rt.Reserve(c.Out); err != nil {
-				return nil, err
-			}
+		if err := routeEntry(rt, e); err != nil {
+			rt.Release()
+			return nil, err
 		}
-		for k, c := range e.Conns {
-			if err := rt.RouteConnection(c.In, c.Out); err != nil {
-				return nil, fmt.Errorf("connection %d (%d->%d): %w", k, c.In, c.Out, err)
-			}
+		for m := range cfgs {
+			rt.MergeMember(m, cfgs[m].Vec())
 		}
-		cfgs = rt.Configs()
+		rt.Release()
 	}
 	for _, li := range e.Logic {
-		j, i := li.Member/v.Cluster, li.Member%v.Cluster
-		if i >= cw || j >= ch {
-			return nil, fmt.Errorf("logic member %d outside %dx%d region", li.Member, cw, ch)
+		j, mi := li.Member/v.Cluster, li.Member%v.Cluster
+		if mi >= cw || j >= ch {
+			return nil, fmt.Errorf("core: logic member %d outside %dx%d region", li.Member, cw, ch)
 		}
-		cfgs[j*cw+i].SetLogic(li.Data)
+		cfgs[j*cw+mi].SetLogic(li.Data)
 	}
 	return cfgs, nil
+}
+
+// routeEntry replays entry e's connection list on rt. Endpoint
+// reservation first: the whole list is known before routing starts, so
+// no connection may route through another's terminal without paying
+// the reservation penalty.
+func routeEntry(rt *devirt.Router, e *Entry) error {
+	for _, c := range e.Conns {
+		if err := rt.Reserve(c.In); err != nil {
+			return err
+		}
+		if err := rt.Reserve(c.Out); err != nil {
+			return err
+		}
+	}
+	for k, c := range e.Conns {
+		if err := rt.RouteConnection(c.In, c.Out); err != nil {
+			return fmt.Errorf("connection %d (%d->%d): %w", k, c.In, c.Out, err)
+		}
+	}
+	return nil
 }

@@ -225,7 +225,9 @@ func Encode(d *netlist.Design, pl *place.Placement, res *route.Result, opt Encod
 		return nil, nil, fmt.Errorf("core: produced invalid VBS: %w", err)
 	}
 	if !opt.SkipVerify {
-		decoded, err := v.Decode()
+		// The feedback verification decodes the whole VBS through the
+		// same parallel entry-level path the runtime controller uses.
+		decoded, err := v.DecodeParallel(0)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: feedback decode: %w", err)
 		}
@@ -497,11 +499,13 @@ func decodeRegionWithReorder(v *VBS, gr *rrg.Graph, st *regionState, opt EncodeO
 	if opt.DisableReorder {
 		attempts = 0
 	}
+	rt, err := devirt.AcquireRouter(st.reg, false, false)
+	if err != nil {
+		return false, "route"
+	}
+	defer rt.Release()
 	for try := 0; ; try++ {
-		rt, err := devirt.NewRouter(st.reg, false, false)
-		if err != nil {
-			return false, "route"
-		}
+		rt.Reset()
 		// Mirror the decoder exactly: reserve every endpoint first.
 		for _, pi := range st.pairs {
 			if err := rt.Reserve(pi.conn.In); err != nil {

@@ -1,0 +1,70 @@
+package devirt
+
+import "slices"
+
+// The bucket queue's circular window must exceed the largest single
+// conductor step cost, costBoundary + costReserved = 73; 128 keeps the
+// index computation a mask.
+const (
+	numBuckets = 128
+	bucketMask = numBuckets - 1
+)
+
+// bucketQueue is the monotone priority queue of the region router
+// (Dial's algorithm). Distances only grow, and every live entry lies
+// within [cur, cur+costBoundary+costReserved], so a circular array of
+// numBuckets conductor lists replaces container/heap — no interface
+// boxing per frontier entry, O(1) push, and pop amortizes to a scan of
+// the tiny distance window.
+//
+// Determinism: entries of one distance pop in ascending conductor
+// order. The bucket is sorted once, when the drain reaches its
+// distance; no entry can join a draining bucket because every step
+// cost is at least costInternal (> 0). Together with monotone
+// distances this reproduces exactly the (dist, cond) ordering of a
+// binary heap over condDist pairs, so the bucket queue is a drop-in
+// replacement that cannot change decoded bits.
+type bucketQueue struct {
+	buckets [numBuckets][]int32
+	cur     int32 // distance currently draining
+	idx     int   // next entry within buckets[cur&bucketMask]
+	n       int   // entries across all buckets (including stale ones)
+}
+
+// reset empties the queue, retaining bucket capacity.
+func (q *bucketQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.cur, q.idx, q.n = 0, 0, 0
+}
+
+// push enqueues conductor c at distance d. d must be >= the distance
+// of the last pop (monotonicity), which Dijkstra guarantees.
+func (q *bucketQueue) push(d, c int32) {
+	b := d & bucketMask
+	q.buckets[b] = append(q.buckets[b], c)
+	q.n++
+}
+
+// pop removes the frontier entry with the smallest (distance,
+// conductor) pair, returning ok=false when the queue is empty.
+func (q *bucketQueue) pop() (c, d int32, ok bool) {
+	for q.n > 0 {
+		b := q.buckets[q.cur&bucketMask]
+		if q.idx >= len(b) {
+			q.buckets[q.cur&bucketMask] = b[:0]
+			q.cur++
+			q.idx = 0
+			continue
+		}
+		if q.idx == 0 {
+			slices.Sort(b)
+		}
+		c = b[q.idx]
+		q.idx++
+		q.n--
+		return c, q.cur, true
+	}
+	return 0, 0, false
+}

@@ -252,19 +252,6 @@ func (r Region) CondPlace(cond int) (kind arch.CondKind, i, j, idx int) {
 	}
 }
 
-// ClaimedConds returns the conductor indices currently owned by any
-// net, with their owner ids, in conductor order. Used by the encoder's
-// feedback loop for cross-region conflict detection.
-func (rt *Router) ClaimedConds() (conds []int, owners []int32) {
-	for c, o := range rt.owner {
-		if o >= 0 {
-			conds = append(conds, c)
-			owners = append(owners, o)
-		}
-	}
-	return conds, owners
-}
-
 // CodeInfo describes an I/O code for ordering heuristics: whether it
 // names a pin, and for wires the track index (-1 for pins).
 func (r Region) CodeInfo(code IOCode) (isPin bool, track int, err error) {
@@ -289,18 +276,44 @@ const (
 	classOutputPin              // never a route-through
 )
 
-// edge is one switch adjacency within the region graph.
+// edge is one switch adjacency within the region graph. The switch's
+// raw bit range is baked in so the commit path drives configuration
+// bits without consulting arch.Params.Switches().
 type edge struct {
 	to     int32
+	first  int32 // first raw bit of the switch in the member's config
 	member int16 // member index owning the switch
-	sw     int32 // switch index in arch.Params.Switches()
+	nbits  uint8 // raw bits driven by the switch (1, 3 or 6)
 }
 
-// regionGraph is the immutable routing graph of a region shape.
+// regionGraph is the immutable routing graph of a region shape, stored
+// in compressed sparse row (CSR) form: edges[adjOff[c]:adjOff[c+1]]
+// are conductor c's switch edges, one flat allocation instead of a
+// slice per conductor. Edge order within a conductor is the member
+// then switch enumeration order, which fixes the router's
+// deterministic tie-breaking.
 type regionGraph struct {
-	r     Region
-	class []condClass
-	adj   [][]edge
+	r      Region
+	class  []condClass
+	adjOff []int32
+	edges  []edge
+	// codeCond is CondForCode precomputed over the whole I/O code
+	// space: codeCond[code] is the conductor index, or -1 for the null
+	// code and codes outside the actual CW×CH shape. It removes the
+	// branchy side arithmetic from Reserve and RouteConnection.
+	codeCond []int32
+	// baseCost is the class traversal cost per conductor (the
+	// reservation penalty is added dynamically by the router).
+	baseCost []int32
+}
+
+// condFor is the hot-path CondForCode: table lookup, -1 for any
+// invalid code.
+func (g *regionGraph) condFor(code IOCode) int32 {
+	if code <= 0 || int(code) >= len(g.codeCond) {
+		return -1
+	}
+	return g.codeCond[code]
 }
 
 var graphCache sync.Map // Region -> *regionGraph
@@ -329,7 +342,7 @@ func graphFor(r Region) *regionGraph {
 
 func buildRegionGraph(r Region) *regionGraph {
 	n := r.NumConds()
-	g := &regionGraph{r: r, class: make([]condClass, n), adj: make([][]edge, n)}
+	g := &regionGraph{r: r, class: make([]condClass, n)}
 	// Classify conductors.
 	for i := 0; i < r.CW; i++ {
 		for j := 0; j < r.CH; j++ {
@@ -360,17 +373,60 @@ func buildRegionGraph(r Region) *regionGraph {
 			g.class[r.condInS(i, t)] = classBoundaryWire
 		}
 	}
-	// Edges from every member's switch inventory.
+	// Edges from every member's switch inventory, CSR-packed in two
+	// passes. The fill pass visits switches in the same order the old
+	// per-conductor append did, so per-conductor edge order (and with
+	// it every routing tie-break) is unchanged.
 	sws := r.P.Switches()
+	deg := make([]int32, n+1)
+	for i := 0; i < r.CW; i++ {
+		for j := 0; j < r.CH; j++ {
+			for _, sw := range sws {
+				deg[r.resolveLocal(i, j, sw.A)+1]++
+				deg[r.resolveLocal(i, j, sw.B)+1]++
+			}
+		}
+	}
+	g.adjOff = deg
+	for c := 0; c < n; c++ {
+		g.adjOff[c+1] += g.adjOff[c]
+	}
+	g.edges = make([]edge, g.adjOff[n])
+	next := make([]int32, n)
+	copy(next, g.adjOff[:n])
 	for i := 0; i < r.CW; i++ {
 		for j := 0; j < r.CH; j++ {
 			m := int16(r.memberIndex(i, j))
-			for si, sw := range sws {
-				a := r.resolveLocal(i, j, sw.A)
-				b := r.resolveLocal(i, j, sw.B)
-				g.adj[a] = append(g.adj[a], edge{to: int32(b), member: m, sw: int32(si)})
-				g.adj[b] = append(g.adj[b], edge{to: int32(a), member: m, sw: int32(si)})
+			for _, sw := range sws {
+				a := int32(r.resolveLocal(i, j, sw.A))
+				b := int32(r.resolveLocal(i, j, sw.B))
+				e := edge{first: int32(sw.FirstBit), member: m, nbits: uint8(sw.NumBits)}
+				e.to = b
+				g.edges[next[a]] = e
+				next[a]++
+				e.to = a
+				g.edges[next[b]] = e
+				next[b]++
 			}
+		}
+	}
+	// Precomputed per-conductor lookups for the router's hot loops.
+	g.baseCost = make([]int32, n)
+	for c := 0; c < n; c++ {
+		switch g.class[c] {
+		case classBoundaryWire:
+			g.baseCost[c] = costBoundary
+		case classInputPin, classOutputPin:
+			g.baseCost[c] = costInputPin
+		default:
+			g.baseCost[c] = costInternal
+		}
+	}
+	g.codeCond = make([]int32, r.NumIOCodes())
+	for code := range g.codeCond {
+		g.codeCond[code] = -1
+		if c, err := r.CondForCode(IOCode(code)); err == nil {
+			g.codeCond[code] = int32(c)
 		}
 	}
 	return g

@@ -1,0 +1,53 @@
+package devirt
+
+import "sync"
+
+// routerPool pools blank routers of one region shape. Routers are
+// Reset before they are put back, so Get always returns a blank
+// router.
+type routerPool struct {
+	p sync.Pool
+}
+
+var pools sync.Map // Region -> *routerPool
+
+func poolFor(r Region) *routerPool {
+	if p, ok := pools.Load(r); ok {
+		return p.(*routerPool)
+	}
+	p, _ := pools.LoadOrStore(r, new(routerPool))
+	return p.(*routerPool)
+}
+
+// AcquireRouter returns a blank router for the region, reusing a
+// pooled one of the same shape when available — the steady-state
+// decode path allocates nothing. closedW and closedS are set per
+// acquisition; they do not partition the pool.
+//
+// The caller must Release the router when done. Everything reachable
+// from the router — in particular the Configs() slice — is invalidated
+// by Release; see the Configs ownership contract.
+func AcquireRouter(r Region, closedW, closedS bool) (*Router, error) {
+	pool := poolFor(r)
+	if v := pool.p.Get(); v != nil {
+		rt := v.(*Router)
+		rt.setEdges(closedW, closedS)
+		return rt, nil
+	}
+	rt, err := NewRouter(r, closedW, closedS)
+	if err != nil {
+		return nil, err
+	}
+	rt.pool = pool
+	return rt, nil
+}
+
+// Release resets the router and returns it to its shape's pool. After
+// Release the caller must not touch the router or anything obtained
+// from it. Routers built directly with NewRouter are simply reset.
+func (rt *Router) Release() {
+	rt.Reset()
+	if rt.pool != nil {
+		rt.pool.p.Put(rt)
+	}
+}

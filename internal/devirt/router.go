@@ -1,10 +1,11 @@
 package devirt
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"repro/internal/arch"
+	"repro/internal/bits"
 )
 
 // Conductor traversal costs. Interior resources are cheap; boundary
@@ -29,28 +30,49 @@ const (
 // list order, earlier connections claim conductors, and later
 // connections must route around them. The same net may be extended by
 // reusing an endpoint that is already claimed.
+//
+// A Router is reusable: Reset returns it to the blank state in time
+// proportional to what the previous decode touched, which is what
+// makes the shape-keyed router pool (AcquireRouter/Release) cheap.
 type Router struct {
 	g *regionGraph
 	// closedW/closedS mark regions on the fabric's west/south edge,
-	// where the incoming boundary wires physically do not exist.
+	// where the incoming boundary wires physically do not exist. open
+	// caches !closedW && !closedS so the search skips the edge check
+	// entirely in the common interior case.
 	closedW, closedS bool
+	open             bool
 
 	owner    []int32 // conductor -> net id, -1 free
 	reserved []bool  // endpoint conductors of the connection list
 	nets     int32
 	configs  []*arch.MacroConfig // per member, switch bits only
 
-	// Dijkstra scratch, epoch stamped.
+	// Undo lists: every conductor claimed or reserved and every member
+	// whose config was touched since the last Reset, so Reset is
+	// O(touched) instead of O(NumConds).
+	claimed   []int32
+	resList   []int32
+	dirty     []bool
+	dirtyList []int32
+
+	// Search scratch, epoch stamped.
 	epoch  int32
 	seenEp []int32
 	dist   []int32
 	par    []int32 // parent conductor
 	parEdg []edge
-	pq     condHeap
+	bq     bucketQueue
+
+	// pool is the home pool when acquired via AcquireRouter; Release
+	// returns the router there.
+	pool *routerPool
 }
 
 // NewRouter returns a fresh router for the region. closedW and closedS
-// mark fabric edges with no incoming west/south wires.
+// mark fabric edges with no incoming west/south wires. Decode paths
+// should prefer AcquireRouter, which reuses pooled routers of the same
+// shape.
 func NewRouter(r Region, closedW, closedS bool) (*Router, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
@@ -59,16 +81,16 @@ func NewRouter(r Region, closedW, closedS bool) (*Router, error) {
 	n := r.NumConds()
 	rt := &Router{
 		g:        g,
-		closedW:  closedW,
-		closedS:  closedS,
 		owner:    make([]int32, n),
 		reserved: make([]bool, n),
 		configs:  make([]*arch.MacroConfig, r.Members()),
+		dirty:    make([]bool, r.Members()),
 		seenEp:   make([]int32, n),
 		dist:     make([]int32, n),
 		par:      make([]int32, n),
 		parEdg:   make([]edge, n),
 	}
+	rt.setEdges(closedW, closedS)
 	for i := range rt.owner {
 		rt.owner[i] = -1
 	}
@@ -78,19 +100,35 @@ func NewRouter(r Region, closedW, closedS bool) (*Router, error) {
 	return rt, nil
 }
 
+// setEdges installs the fabric-edge flags (they vary per acquisition,
+// not per pooled router).
+func (rt *Router) setEdges(closedW, closedS bool) {
+	rt.closedW, rt.closedS = closedW, closedS
+	rt.open = !closedW && !closedS
+}
+
 // Region returns the router's region shape.
 func (rt *Router) Region() Region { return rt.g.r }
 
-// Reset returns the router to the blank state for reuse.
+// Reset returns the router to the blank state for reuse. It undoes
+// only what the previous decode touched: claimed and reserved
+// conductors via the undo lists, and the configs of members whose
+// switches were driven.
 func (rt *Router) Reset() {
-	for i := range rt.owner {
-		rt.owner[i] = -1
-		rt.reserved[i] = false
+	for _, c := range rt.claimed {
+		rt.owner[c] = -1
 	}
+	rt.claimed = rt.claimed[:0]
+	for _, c := range rt.resList {
+		rt.reserved[c] = false
+	}
+	rt.resList = rt.resList[:0]
+	for _, m := range rt.dirtyList {
+		rt.configs[m].Vec().Clear()
+		rt.dirty[m] = false
+	}
+	rt.dirtyList = rt.dirtyList[:0]
 	rt.nets = 0
-	for _, c := range rt.configs {
-		c.Vec().Clear()
-	}
 }
 
 // Reserve marks an endpoint conductor of the connection list. Routing
@@ -100,11 +138,15 @@ func (rt *Router) Reset() {
 // of the list before routing; since the full list is available before
 // decoding starts, this needs no extra information in the format.
 func (rt *Router) Reserve(code IOCode) error {
-	c, err := rt.g.r.CondForCode(code)
-	if err != nil {
+	c := rt.g.condFor(code)
+	if c < 0 {
+		_, err := rt.g.r.CondForCode(code)
 		return err
 	}
-	rt.reserved[c] = true
+	if !rt.reserved[c] {
+		rt.reserved[c] = true
+		rt.resList = append(rt.resList, c)
+	}
 	return nil
 }
 
@@ -122,21 +164,28 @@ func (rt *Router) usable(c int) bool {
 	return !rt.closedS
 }
 
+// claim assigns a free conductor to net and records the undo entry.
+func (rt *Router) claim(c int32, net int32) {
+	rt.owner[c] = net
+	rt.claimed = append(rt.claimed, c)
+}
+
 // RouteConnection realizes one (in, out) pair of the connection list.
 // If in already belongs to a routed net, the net is extended from its
 // whole tree; otherwise a new net starts at in. The chosen path claims
 // its conductors and turns on the corresponding switches.
 func (rt *Router) RouteConnection(in, out IOCode) error {
-	r := rt.g.r
-	a, err := r.CondForCode(in)
-	if err != nil {
+	a := rt.g.condFor(in)
+	if a < 0 {
+		_, err := rt.g.r.CondForCode(in)
 		return err
 	}
-	b, err := r.CondForCode(out)
-	if err != nil {
+	b := rt.g.condFor(out)
+	if b < 0 {
+		_, err := rt.g.r.CondForCode(out)
 		return err
 	}
-	if !rt.usable(a) || !rt.usable(b) {
+	if !rt.usable(int(a)) || !rt.usable(int(b)) {
 		return fmt.Errorf("devirt: endpoint on closed fabric edge (%d->%d)", in, out)
 	}
 	var net int32
@@ -146,7 +195,7 @@ func (rt *Router) RouteConnection(in, out IOCode) error {
 	default:
 		net = rt.nets
 		rt.nets++
-		rt.owner[a] = net
+		rt.claim(a, net)
 	}
 	switch {
 	case rt.owner[b] == net:
@@ -154,91 +203,107 @@ func (rt *Router) RouteConnection(in, out IOCode) error {
 	case rt.owner[b] >= 0:
 		return fmt.Errorf("devirt: endpoints %d and %d belong to different nets", in, out)
 	}
-	return rt.route(net, b)
+	return rt.route(net, int(b))
 }
 
 // route runs deterministic Dijkstra from every conductor of net to the
-// target, through free conductors only.
+// target, through free conductors only. The frontier is a monotone
+// bucket queue (Dial's algorithm): conductor step costs are the small
+// constants 2/3/9(+64), so a circular window of numBuckets distances
+// covers every live entry, and the queue pops in exactly the
+// (distance, conductor) order the previous container/heap
+// implementation produced — without boxing an interface value per
+// frontier entry.
 func (rt *Router) route(net int32, target int) error {
+	if rt.epoch == math.MaxInt32 {
+		// Epoch wrap: invalidate every stamp once, then restart.
+		for i := range rt.seenEp {
+			rt.seenEp[i] = 0
+		}
+		rt.epoch = 0
+	}
 	rt.epoch++
-	rt.pq.a = rt.pq.a[:0]
-	for c, o := range rt.owner {
-		if o != net {
+	rt.bq.reset()
+	// Seeds: the net's claimed tree, found on the undo list (each
+	// conductor is claimed at most once, so no duplicates).
+	for _, c := range rt.claimed {
+		if rt.owner[c] != net {
 			continue
 		}
 		rt.seenEp[c] = rt.epoch
 		rt.dist[c] = 0
 		rt.par[c] = -1
-		heap.Push(&rt.pq, condDist{0, int32(c)})
+		rt.bq.push(0, c)
 	}
-	for rt.pq.Len() > 0 {
-		cd := heap.Pop(&rt.pq).(condDist)
-		c := int(cd.cond)
+	g := rt.g
+	for {
+		c32, d, ok := rt.bq.pop()
+		if !ok {
+			break
+		}
+		c := int(c32)
 		if c == target {
 			rt.commit(net, target)
 			return nil
 		}
-		if cd.dist > rt.dist[c] {
+		if d > rt.dist[c] {
 			continue // stale entry
 		}
-		for _, e := range rt.g.adj[c] {
+		for k, end := g.adjOff[c], g.adjOff[c+1]; k < end; k++ {
+			e := &g.edges[k]
 			to := int(e.to)
 			if to != target {
 				if rt.owner[to] != -1 {
 					continue // claimed by some net (even ours: tree conductors are seeds)
 				}
-				if rt.g.class[to] == classOutputPin {
+				if g.class[to] == classOutputPin {
 					continue // output pins are driven by their LB
 				}
-				if !rt.usable(to) {
+				if !rt.open && !rt.usable(to) {
 					continue
 				}
 			}
-			d := rt.dist[c] + rt.condCost(to)
-			if rt.seenEp[to] == rt.epoch && d >= rt.dist[to] {
+			nd := d + g.baseCost[to]
+			if rt.reserved[to] {
+				nd += costReserved
+			}
+			if rt.seenEp[to] == rt.epoch && nd >= rt.dist[to] {
 				continue
 			}
 			rt.seenEp[to] = rt.epoch
-			rt.dist[to] = d
+			rt.dist[to] = nd
 			rt.par[to] = int32(c)
-			rt.parEdg[to] = e
-			heap.Push(&rt.pq, condDist{d, int32(to)})
+			rt.parEdg[to] = *e
+			rt.bq.push(nd, e.to)
 		}
 	}
 	return fmt.Errorf("devirt: no path to conductor %d for net %d", target, net)
 }
 
-func (rt *Router) condCost(c int) int32 {
-	var base int32
-	switch rt.g.class[c] {
-	case classBoundaryWire:
-		base = costBoundary
-	case classInputPin, classOutputPin:
-		base = costInputPin
-	default:
-		base = costInternal
-	}
-	if rt.reserved[c] {
-		base += costReserved
-	}
-	return base
-}
-
 // commit claims the found path and drives its switches.
 func (rt *Router) commit(net int32, target int) {
-	c := target
+	c := int32(target)
 	for c != -1 && rt.owner[c] != net {
-		rt.owner[c] = net
-		e := rt.parEdg[c]
-		rt.configs[e.member].SetSwitch(int(e.sw), true)
-		c = int(rt.par[c])
+		rt.claim(c, net)
+		e := &rt.parEdg[c]
+		m := int(e.member)
+		if !rt.dirty[m] {
+			rt.dirty[m] = true
+			rt.dirtyList = append(rt.dirtyList, int32(m))
+		}
+		vec := rt.configs[m].Vec()
+		for b := 0; b < int(e.nbits); b++ {
+			vec.Set(int(e.first)+b, true)
+		}
+		c = rt.par[c]
 	}
 }
 
 // Owner returns the net id claiming an I/O code's conductor, or -1.
 func (rt *Router) Owner(code IOCode) (int, error) {
-	c, err := rt.g.r.CondForCode(code)
-	if err != nil {
+	c := rt.g.condFor(code)
+	if c < 0 {
+		_, err := rt.g.r.CondForCode(code)
 		return 0, err
 	}
 	return int(rt.owner[c]), nil
@@ -246,30 +311,38 @@ func (rt *Router) Owner(code IOCode) (int, error) {
 
 // Configs returns the decoded per-member configurations (switch bits
 // only; logic data is merged separately). Member (i, j) is at index
-// j*CW+i. The returned configurations are the router's own state.
+// j*CW+i.
+//
+// Ownership: the returned configurations are the router's own state.
+// They are valid until the next Reset or Release; a caller that needs
+// them to outlive the router (the controller's Decoded cache, for
+// example) must copy them out — Clone, or MergeMember into its own
+// storage — before the router goes back to the pool.
 func (rt *Router) Configs() []*arch.MacroConfig { return rt.configs }
 
-// condDist orders the Dijkstra frontier by distance, then conductor
-// index, which makes the search fully deterministic.
-type condDist struct {
-	dist int32
-	cond int32
-}
+// MemberDirty reports whether the decode drove any switch of member m.
+func (rt *Router) MemberDirty(m int) bool { return rt.dirty[m] }
 
-type condHeap struct{ a []condDist }
-
-func (h *condHeap) Len() int { return len(h.a) }
-func (h *condHeap) Less(i, j int) bool {
-	if h.a[i].dist != h.a[j].dist {
-		return h.a[i].dist < h.a[j].dist
+// MergeMember ORs member m's routed switch bits into dst, word at a
+// time, skipping members the decode never touched. This is the
+// decode-into-place primitive: the caller points dst at the target
+// fabric configuration and no intermediate MacroConfig is
+// materialized.
+func (rt *Router) MergeMember(m int, dst *bits.Vec) {
+	if rt.dirty[m] {
+		dst.OrAt(rt.configs[m].Vec(), 0)
 	}
-	return h.a[i].cond < h.a[j].cond
 }
-func (h *condHeap) Swap(i, j int)      { h.a[i], h.a[j] = h.a[j], h.a[i] }
-func (h *condHeap) Push(x interface{}) { h.a = append(h.a, x.(condDist)) }
-func (h *condHeap) Pop() interface{} {
-	last := len(h.a) - 1
-	v := h.a[last]
-	h.a = h.a[:last]
-	return v
+
+// ClaimedConds returns the conductor indices currently owned by any
+// net, with their owner ids, in conductor order. Used by the encoder's
+// feedback loop for cross-region conflict detection.
+func (rt *Router) ClaimedConds() (conds []int, owners []int32) {
+	for c, o := range rt.owner {
+		if o >= 0 {
+			conds = append(conds, c)
+			owners = append(owners, o)
+		}
+	}
+	return conds, owners
 }
