@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke
+.PHONY: all build test race bench bench-smoke persist-smoke
 
 all: build test
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
+	$(GO) test -race ./internal/server/... ./internal/repo/ ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
 
 # bench runs the decode scoreboard benchmarks and refreshes the
 # committed perf baseline BENCH_decode.json (benchmark name -> ns/op,
@@ -27,3 +27,8 @@ bench:
 # bench-smoke is the CI guard: every decode benchmark must still run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkDecode$$|BenchmarkParallelDecode$$' -benchtime 1x .
+
+# persist-smoke proves the vbsd -data-dir durability loop against a
+# real daemon and a SIGKILL (see scripts/persistence_smoke.sh).
+persist-smoke:
+	./scripts/persistence_smoke.sh

@@ -5,15 +5,22 @@
 // decoded bitstreams), unload, on-the-fly relocation, and occupancy /
 // latency / compression statistics.
 //
-//	vbsd -addr :8931 -fabrics 2 -size 32x32 -w 20 -k 6 -cache-mbits 64 -policy emptiest
+//	vbsd -addr :8931 -fabrics 2 -size 32x32 -w 20 -k 6 -cache-mbits 64 -policy emptiest -data-dir /var/lib/vbsd
 //
 // Placement runs through the internal/sched policy engine (first-fit,
 // best-fit, emptiest) with dry-run admission; when no fabric admits a
 // task the daemon compacts the most promising fabric and retries once.
 //
+// With -data-dir the daemon persists every admitted VBS to a
+// crash-safe content-addressed repository: RAM eviction demotes to
+// disk instead of deleting, misses fall back to disk, a boot recovery
+// scan re-indexes surviving blobs (quarantining corrupt ones), and
+// -warm N pre-decodes stored blobs into the cache at startup.
+//
 // Endpoints: POST /tasks, GET /tasks, DELETE /tasks/{id},
 // POST /tasks/{id}/relocate, POST /fabrics/{i}/compact, GET /fabrics,
-// GET /stats, GET /healthz.
+// GET /vbs, GET /vbs/{digest}, DELETE /vbs/{digest}, GET /stats,
+// GET /healthz.
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 		cacheMbit = flag.Int64("cache-mbits", 64, "decoded-bitstream cache size in megabits (0 = unbounded)")
 		storeMB   = flag.Int("store-mbytes", 256, "content-addressed VBS store size in megabytes (0 = unbounded)")
 		policy    = flag.String("policy", "", "placement policy: "+strings.Join(sched.Names(), ", ")+" (default emptiest)")
+		dataDir   = flag.String("data-dir", "", "persistent VBS repository directory (empty = RAM-only store)")
+		warm      = flag.Int("warm", 0, "with -data-dir, pre-decode up to N stored blobs into the cache at boot (-1 = all, 0 = off)")
 	)
 	flag.Parse()
 
@@ -71,9 +80,27 @@ func main() {
 		StoreBytes:    *storeMB * 1_000_000,
 		DecodeWorkers: *workers,
 		Policy:        *policy,
+		DataDir:       *dataDir,
 	})
 	if err != nil {
 		log.Fatalf("vbsd: %v", err)
+	}
+	if *dataDir != "" {
+		rep := srv.RecoveryReport()
+		log.Printf("vbsd: repo %s: recovered %d blob(s) (%d bytes), quarantined %d, removed %d temp file(s)",
+			*dataDir, rep.Recovered, rep.Bytes, rep.Quarantined, rep.TempRemoved)
+		if *warm != 0 {
+			max := *warm
+			if max < 0 {
+				max = 0 // WarmDecoded treats 0 as "all"
+			}
+			n, err := srv.WarmDecoded(max)
+			if err != nil {
+				log.Printf("vbsd: decoded-cache warm-up stopped after %d blob(s): %v", n, err)
+			} else {
+				log.Printf("vbsd: pre-decoded %d blob(s) into the cache", n)
+			}
+		}
 	}
 
 	hs := &http.Server{
@@ -94,6 +121,11 @@ func main() {
 	log.Printf("vbsd: serving %d %dx%d fabric(s) (W=%d, K=%d) on %s", *nFabrics, gw, gh, *w, *k, *addr)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("vbsd: %v", err)
+	}
+	// Graceful shutdown: make sure every RAM-resident blob reached the
+	// disk tier (normally a no-op — admissions write through).
+	if err := srv.Flush(); err != nil {
+		log.Printf("vbsd: shutdown flush: %v", err)
 	}
 	log.Printf("vbsd: shut down")
 }

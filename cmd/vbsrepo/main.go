@@ -1,0 +1,157 @@
+// Command vbsrepo administers a persistent VBS repository (the
+// -data-dir of vbsd) offline: list blobs, verify integrity, collect
+// quarantine/temp garbage, and bulk-import design-flow output.
+//
+//	vbsrepo ls     -dir /var/lib/vbsd
+//	vbsrepo verify -dir /var/lib/vbsd
+//	vbsrepo gc     -dir /var/lib/vbsd
+//	vbsrepo import -dir /var/lib/vbsd task1.vbs task2.vbs ...
+//
+// ls and verify open the repository read-only (verify reports
+// corruption without moving files, so it is safe against a live
+// daemon's data dir); gc and import take the writable path. import
+// strict-parses every file as a VBS container before admitting it, so
+// the repository only ever holds blobs the runtime can load.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/repo"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: vbsrepo <ls|verify|gc|import> -dir <repo> [args]")
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("vbsrepo "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "repository directory")
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintf(stderr, "vbsrepo %s: -dir required\n", cmd)
+		return 2
+	}
+	var err error
+	switch cmd {
+	case "ls":
+		err = runLs(*dir, stdout)
+	case "verify":
+		err = runVerify(*dir, stdout)
+	case "gc":
+		err = runGC(*dir, stdout)
+	case "import":
+		err = runImport(*dir, fs.Args(), stdout)
+	default:
+		return usage(stderr)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "vbsrepo %s: %v\n", cmd, err)
+		return 1
+	}
+	return 0
+}
+
+func runLs(dir string, w io.Writer) error {
+	r, err := repo.Open(dir, repo.Options{ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	for _, b := range r.List() {
+		fmt.Fprintf(w, "%s  %10d\n", b.Digest, b.Bytes)
+	}
+	rep := r.ScanReport()
+	fmt.Fprintf(w, "%d blob(s), %d bytes", r.Len(), r.Bytes())
+	if rep.Quarantined > 0 {
+		fmt.Fprintf(w, " (%d corrupt, run verify/gc)", rep.Quarantined)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// errCorruptFound makes verify exit nonzero when any blob fails, the
+// contract the CI persistence smoke relies on.
+var errCorruptFound = errors.New("corrupt blob(s) found")
+
+func runVerify(dir string, w io.Writer) error {
+	r, err := repo.Open(dir, repo.Options{ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	scan := r.ScanReport()
+	rep := r.Verify()
+	fmt.Fprintf(w, "scanned %d, verified %d blob(s), %d bytes OK\n",
+		scan.Scanned, rep.Checked, rep.Bytes)
+	bad := scan.Quarantined + len(rep.Corrupt)
+	for _, d := range rep.Corrupt {
+		fmt.Fprintf(w, "CORRUPT %s\n", d)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%w: %d", errCorruptFound, bad)
+	}
+	return nil
+}
+
+func runGC(dir string, w io.Writer) error {
+	r, err := repo.Open(dir, repo.Options{})
+	if err != nil {
+		return err
+	}
+	rep, err := r.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "removed %d quarantined blob(s), %d temp file(s), reclaimed %d bytes\n",
+		rep.QuarantineRemoved, rep.TempRemoved, rep.BytesReclaimed)
+	return nil
+}
+
+func runImport(dir string, files []string, w io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no input files")
+	}
+	r, err := repo.Open(dir, repo.Options{})
+	if err != nil {
+		return err
+	}
+	imported, existed := 0, 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Admit only what the runtime could actually load.
+		if _, err := core.Parse(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		d, dup, err := r.Put(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		state := "imported"
+		if dup {
+			state = "exists"
+			existed++
+		} else {
+			imported++
+		}
+		fmt.Fprintf(w, "%s  %s  %s\n", d, state, path)
+	}
+	fmt.Fprintf(w, "imported %d, already present %d\n", imported, existed)
+	return nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/repo"
+)
+
+func writeVBSFile(t *testing.T, dir, name string, taskW int) string {
+	t.Helper()
+	v := &core.VBS{P: arch.Default(), Cluster: 1, TaskW: taskW, TaskH: 2}
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestImportLsVerify(t *testing.T) {
+	work := t.TempDir()
+	dataDir := filepath.Join(work, "repo")
+	a := writeVBSFile(t, work, "a.vbs", 2)
+	b := writeVBSFile(t, work, "b.vbs", 3)
+
+	var out bytes.Buffer
+	if code := run([]string{"import", "-dir", dataDir, a, b, a}, &out, &out); code != 0 {
+		t.Fatalf("import exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "imported 2, already present 1") {
+		t.Fatalf("import output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"ls", "-dir", dataDir}, &out, &out); code != 0 {
+		t.Fatalf("ls exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "2 blob(s)") {
+		t.Fatalf("ls output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"verify", "-dir", dataDir}, &out, &out); code != 0 {
+		t.Fatalf("verify exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "verified 2 blob(s)") {
+		t.Fatalf("verify output: %s", out.String())
+	}
+}
+
+func TestImportRejectsNonVBS(t *testing.T) {
+	work := t.TempDir()
+	junk := filepath.Join(work, "junk.vbs")
+	if err := os.WriteFile(junk, []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"import", "-dir", filepath.Join(work, "repo"), junk}, &out, &out); code != 1 {
+		t.Fatalf("import of junk exited %d: %s", code, out.String())
+	}
+}
+
+func TestVerifyFlagsCorruption(t *testing.T) {
+	work := t.TempDir()
+	dataDir := filepath.Join(work, "repo")
+	a := writeVBSFile(t, work, "a.vbs", 2)
+	var out bytes.Buffer
+	if code := run([]string{"import", "-dir", dataDir, a}, &out, &out); code != 0 {
+		t.Fatalf("import: %s", out.String())
+	}
+	// Corrupt the stored blob on disk.
+	var blobPath string
+	filepath.WalkDir(dataDir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".vbs") &&
+			!strings.Contains(path, "quarantine") {
+			blobPath = path
+		}
+		return nil
+	})
+	if blobPath == "" {
+		t.Fatal("stored blob not found")
+	}
+	raw, _ := os.ReadFile(blobPath)
+	raw[len(raw)-1] ^= 0x55
+	os.WriteFile(blobPath, raw, 0o644)
+
+	out.Reset()
+	if code := run([]string{"verify", "-dir", dataDir}, &out, &out); code != 1 {
+		t.Fatalf("verify of corrupt repo exited %d: %s", code, out.String())
+	}
+	// Read-only verify must leave the file in place for gc/forensics.
+	if _, err := os.Stat(blobPath); err != nil {
+		t.Fatalf("verify moved the corrupt blob: %v", err)
+	}
+}
+
+func TestGCReclaims(t *testing.T) {
+	work := t.TempDir()
+	dataDir := filepath.Join(work, "repo")
+	r, err := repo.Open(dataDir, repo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := r.Put([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt and trigger read-time quarantine.
+	hx := d.String()
+	blobPath := filepath.Join(dataDir, hx[:2], hx[2:4], hx+".vbs")
+	raw, _ := os.ReadFile(blobPath)
+	raw[len(raw)-1] ^= 0x55
+	os.WriteFile(blobPath, raw, 0o644)
+	if _, err := r.Get(d); err == nil {
+		t.Fatal("corrupt blob served")
+	}
+
+	var out bytes.Buffer
+	if code := run([]string{"gc", "-dir", dataDir}, &out, &out); code != 0 {
+		t.Fatalf("gc exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "removed 1 quarantined blob(s)") {
+		t.Fatalf("gc output: %s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out, &out); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+	if code := run([]string{"frobnicate", "-dir", "x"}, &out, &out); code != 2 {
+		t.Fatalf("unknown command: exit %d", code)
+	}
+	if code := run([]string{"ls"}, &out, &out); code != 2 {
+		t.Fatalf("missing -dir: exit %d", code)
+	}
+}

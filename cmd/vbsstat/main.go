@@ -1,44 +1,130 @@
-// Command vbsstat dissects a Virtual Bit-Stream container: size
-// breakdown by field class (header, positions, logic, connections,
-// raw-fallback payloads), the per-region connection histogram, and the
-// worst regions — the numbers one needs when tuning cluster size for a
-// task.
+// Command vbsstat dissects Virtual Bit-Stream containers. Pointed at
+// a single file (-in) it prints the size breakdown by field class
+// (header, positions, logic, connections, raw-fallback payloads), the
+// per-region connection histogram, and the worst regions — the
+// numbers one needs when tuning cluster size for a task. Pointed at a
+// persistent VBS repository (-dir, the -data-dir of vbsd) it prints
+// aggregate compression-ratio statistics across every stored blob.
 //
 //	vbsstat -in task.vbs
+//	vbsstat -dir /var/lib/vbsd
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/repo"
 	"repro/internal/report"
 )
 
-func main() {
-	inPath := flag.String("in", "", "input VBS file")
-	top := flag.Int("top", 5, "how many largest entries to list")
-	flag.Parse()
-	if *inPath == "" {
-		fmt.Fprintln(os.Stderr, "vbsstat: -in required")
-		os.Exit(2)
-	}
-	data, err := os.ReadFile(*inPath)
-	if err != nil {
-		fail(err)
-	}
-	v, err := core.Parse(data)
-	if err != nil {
-		fail(err)
-	}
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	fmt.Printf("task        : %dx%d macros, W=%d K=%d, cluster %d\n",
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vbsstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	inPath := fs.String("in", "", "input VBS file")
+	dirPath := fs.String("dir", "", "VBS repository directory (aggregate stats over all blobs)")
+	top := fs.Int("top", 5, "how many largest entries to list")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case (*inPath == "") == (*dirPath == ""):
+		fmt.Fprintln(stderr, "vbsstat: exactly one of -in or -dir required")
+		return 2
+	case *inPath != "":
+		data, err := os.ReadFile(*inPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		v, err := core.Parse(data)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		statFile(v, *top, stdout)
+	default:
+		if err := statDir(*dirPath, stdout); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	return 0
+}
+
+// statDir aggregates compression figures across every blob of a
+// repository (opened read-only: safe against a live daemon).
+func statDir(dir string, w io.Writer) error {
+	r, err := repo.Open(dir, repo.Options{ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	type row struct {
+		digest string
+		ratio  float64
+		vbs    int
+		raw    int
+	}
+	var rows []row
+	var vbsBits, rawBits int64
+	var diskBytes int64
+	minR, maxR, sumR := math.Inf(1), math.Inf(-1), 0.0
+	skipped := 0
+	for _, b := range r.List() {
+		data, err := r.Get(b.Digest)
+		if err != nil {
+			skipped++
+			continue
+		}
+		v, err := core.Parse(data)
+		if err != nil {
+			// The repo stores opaque blobs; a non-VBS payload (foreign
+			// import) is counted but excluded from the ratio stats.
+			skipped++
+			continue
+		}
+		rt := v.CompressionRatio()
+		rows = append(rows, row{b.Digest.Short(), rt, v.Size(), v.RawSizeBits()})
+		vbsBits += int64(v.Size())
+		rawBits += int64(v.RawSizeBits())
+		diskBytes += b.Bytes
+		sumR += rt
+		minR = math.Min(minR, rt)
+		maxR = math.Max(maxR, rt)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "repository %s holds no parsable VBS blobs (%d skipped)\n", dir, skipped)
+		return nil
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Repository %s — %d blob(s)", dir, len(rows)),
+		Headers: []string{"Digest", "VBS bits", "Raw bits", "Ratio"},
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ratio < rows[b].ratio })
+	for _, rw := range rows {
+		tab.AddRow(rw.digest, rw.vbs, rw.raw, report.Percent(rw.ratio))
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "\nblobs        : %d parsable (%d skipped), %d bytes on disk\n",
+		len(rows), skipped, diskBytes)
+	fmt.Fprintf(w, "ratio        : mean %s, best %s, worst %s\n",
+		report.Percent(sumR/float64(len(rows))), report.Percent(minR), report.Percent(maxR))
+	fmt.Fprintf(w, "aggregate    : raw %s -> VBS %s (%.2fx overall)\n",
+		report.Bits(int(rawBits)), report.Bits(int(vbsBits)),
+		float64(rawBits)/float64(vbsBits))
+	return nil
+}
+
+func statFile(v *core.VBS, top int, out io.Writer) {
+	fmt.Fprintf(out, "task        : %dx%d macros, W=%d K=%d, cluster %d\n",
 		v.TaskW, v.TaskH, v.P.W, v.P.K, v.Cluster)
-	fmt.Printf("region grid : %dx%d (%d regions, %d coded entries)\n",
+	fmt.Fprintf(out, "region grid : %dx%d (%d regions, %d coded entries)\n",
 		v.RegionsW(), v.RegionsH(), v.RegionsW()*v.RegionsH(), len(v.Entries))
-	fmt.Printf("field widths: M=%d bits/endpoint, route count %d bits, coords %d bits\n",
+	fmt.Fprintf(out, "field widths: M=%d bits/endpoint, route count %d bits, coords %d bits\n",
 		v.MBits(), v.RouteCountBits(), v.RegionCoordBits())
 
 	// Size breakdown.
@@ -79,33 +165,33 @@ func main() {
 	tab.AddRow(fmt.Sprintf("connections (%d)", conns), countBits+connBits, share(countBits+connBits, total))
 	tab.AddRow(fmt.Sprintf("raw fallbacks (%d regions)", raws), rawBits, share(rawBits, total))
 	tab.AddRow("TOTAL", total, share(total, total))
-	tab.Render(os.Stdout)
+	tab.Render(out)
 
-	fmt.Printf("\nraw equivalent %s, VBS %s -> %s (%.2fx)\n",
+	fmt.Fprintf(out, "\nraw equivalent %s, VBS %s -> %s (%.2fx)\n",
 		report.Bits(v.RawSizeBits()), report.Bits(total),
 		report.Percent(v.CompressionRatio()), v.CompressionFactor())
 
 	// Connection histogram.
-	fmt.Println("\nconnections per coded region:")
+	fmt.Fprintln(out, "\nconnections per coded region:")
 	var buckets []int
 	for b := range histogram {
 		buckets = append(buckets, b)
 	}
 	sort.Ints(buckets)
 	for _, b := range buckets {
-		fmt.Printf("  %3d..%-3d : %d regions\n", b, b+bucketWidth-1, histogram[b])
+		fmt.Fprintf(out, "  %3d..%-3d : %d regions\n", b, b+bucketWidth-1, histogram[b])
 	}
 
 	// Largest entries.
 	sort.Slice(order, func(a, b int) bool { return order[a].bits > order[b].bits })
-	fmt.Printf("\nlargest %d entries:\n", *top)
-	for i := 0; i < *top && i < len(order); i++ {
+	fmt.Fprintf(out, "\nlargest %d entries:\n", top)
+	for i := 0; i < top && i < len(order); i++ {
 		e := &v.Entries[order[i].idx]
 		kind := fmt.Sprintf("coded, %d conns", len(e.Conns))
 		if e.Raw {
 			kind = "RAW FALLBACK"
 		}
-		fmt.Printf("  region (%2d,%2d): %6d bits (%s)\n", e.X, e.Y, order[i].bits, kind)
+		fmt.Fprintf(out, "  region (%2d,%2d): %6d bits (%s)\n", e.X, e.Y, order[i].bits, kind)
 	}
 }
 
@@ -120,7 +206,7 @@ func share(part, total int) string {
 	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "vbsstat: %v\n", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "vbsstat: %v\n", err)
+	return 1
 }

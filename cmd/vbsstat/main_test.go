@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/repo"
+)
+
+func encodeVBS(t *testing.T, taskW int) []byte {
+	t.Helper()
+	v := &core.VBS{P: arch.Default(), Cluster: 1, TaskW: taskW, TaskH: 2}
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFileMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "task.vbs")
+	if err := os.WriteFile(path, encodeVBS(t, 2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-in", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Size breakdown", "raw equivalent"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDirMode(t *testing.T) {
+	dataDir := t.TempDir()
+	r, err := repo.Open(dataDir, repo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 4} {
+		if _, _, err := r.Put(encodeVBS(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One opaque non-VBS blob: counted as skipped, not fatal.
+	if _, _, err := r.Put([]byte("foreign payload")); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dataDir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"3 blob(s)", "3 parsable (1 skipped)", "ratio", "mean", "aggregate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no flags: exit %d", code)
+	}
+	if code := run([]string{"-in", "a", "-dir", "b"}, &out, &errOut); code != 2 {
+		t.Fatalf("both flags: exit %d", code)
+	}
+}

@@ -172,11 +172,27 @@ func TestDecodeErrors(t *testing.T) {
 			b[4], b[5] = 0, 0
 			return b
 		}()},
+		{"one trailing garbage byte", append(append([]byte(nil), good...), 0x00)},
+		{"trailing garbage run", append(append([]byte(nil), good...), 0xde, 0xad, 0xbe, 0xef)},
 	}
 	for _, c := range cases {
 		if _, err := Decode(c.data); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestDecodeToleratesAlignmentPadding pins the boundary of the
+// trailing-garbage check: the up-to-7 zero pad bits Encode emits are
+// legal, one full extra byte is not (see TestDecodeErrors).
+func TestDecodeToleratesAlignmentPadding(t *testing.T) {
+	f := runFlow(t, 7, 6, 4, 6, 4)
+	data := f.raw.Encode()
+	if padBits := len(data[12:])*8 - f.raw.SizeBits(); padBits == 0 {
+		t.Skipf("payload is byte-aligned; padding tolerance not exercised")
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("aligned container rejected: %v", err)
 	}
 }
 

@@ -60,6 +60,14 @@ func Decode(data []byte) (*Raw, error) {
 	if r.Remaining() < need {
 		return nil, fmt.Errorf("bitstream: payload has %d bits, need %d", r.Remaining(), need)
 	}
+	// Encode zero-pads the payload to the next byte boundary, so up to
+	// 7 trailing bits are legitimate. Anything more is garbage — and a
+	// container with garbage must not round-trip as valid, or strict
+	// parsing and the blob repository's CRC would disagree about which
+	// bytes constitute the configuration.
+	if extra := r.Remaining() - need; extra >= 8 {
+		return nil, fmt.Errorf("bitstream: %d trailing byte(s) after %d-bit payload", extra/8, need)
+	}
 	raw := &Raw{P: p, G: g, Configs: make([]*arch.MacroConfig, g.NumMacros())}
 	for i := range raw.Configs {
 		v, err := r.ReadVec(p.NRaw())

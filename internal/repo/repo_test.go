@@ -1,0 +1,320 @@
+package repo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *Repo {
+	t.Helper()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := open(t, t.TempDir())
+	data := []byte("not a real VBS, but the repo stores opaque payloads")
+	d, existed, err := r.Put(data)
+	if err != nil || existed {
+		t.Fatalf("Put: existed=%v err=%v", existed, err)
+	}
+	if !r.Has(d) || r.Len() != 1 || r.Bytes() != int64(len(data)) {
+		t.Fatalf("index after Put: has=%v len=%d bytes=%d", r.Has(d), r.Len(), r.Bytes())
+	}
+	got, err := r.Get(d)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get: %v (equal=%v)", err, bytes.Equal(got, data))
+	}
+	if _, existed, _ := r.Put(data); !existed {
+		t.Fatal("second Put of same content should report existed")
+	}
+	st := r.Stats()
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	r := open(t, t.TempDir())
+	if _, err := r.Get(DigestOf([]byte("x"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestRecoveryAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	r := open(t, dir)
+	var digests []Digest
+	for i := 0; i < 20; i++ {
+		d, _, err := r.Put([]byte(fmt.Sprintf("blob-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	// No Close exists (writes are durable at Put return): reopening the
+	// same directory models a crash-restart.
+	r2 := open(t, dir)
+	rep := r2.ScanReport()
+	if rep.Recovered != 20 || rep.Quarantined != 0 {
+		t.Fatalf("scan: %+v", rep)
+	}
+	for i, d := range digests {
+		got, err := r2.Get(d)
+		if err != nil || string(got) != fmt.Sprintf("blob-%d", i) {
+			t.Fatalf("blob %d after reopen: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestScanQuarantinesCorruptBlob(t *testing.T) {
+	dir := t.TempDir()
+	r := open(t, dir)
+	d, _, err := r.Put([]byte("soon to be flipped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, _, err := r.Put([]byte("intact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk: CRC and digest both now disagree.
+	path := r.blobPath(d)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := open(t, dir)
+	rep := r2.ScanReport()
+	if rep.Quarantined != 1 || rep.Recovered != 1 {
+		t.Fatalf("scan: %+v", rep)
+	}
+	if r2.Has(d) {
+		t.Fatal("corrupt blob must not be indexed")
+	}
+	if _, err := r2.Get(d); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt blob must never be served: %v", err)
+	}
+	if _, err := r2.Get(keep); err != nil {
+		t.Fatalf("intact blob lost: %v", err)
+	}
+	qs, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("quarantine dir: %v entries, %v", len(qs), err)
+	}
+}
+
+func TestReadTimeCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	r := open(t, dir)
+	d, _, err := r.Put([]byte("valid at scan, corrupted later"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(r.blobPath(d))
+	raw[headerSize] ^= 0x01
+	if err := os.WriteFile(r.blobPath(d), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(d); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if r.Has(d) {
+		t.Fatal("corrupt blob still indexed after failed Get")
+	}
+	if st := r.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestScanRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir) // create layout
+	stale := filepath.Join(dir, tmpDir, "deadbeef.123")
+	if err := os.WriteFile(stale, []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir)
+	if rep := r.ScanReport(); rep.TempRemoved != 1 {
+		t.Fatalf("scan: %+v", rep)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale temp file survived recovery")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := open(t, t.TempDir())
+	d, _, err := r.Put([]byte("short-lived"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(d); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has(d) || r.Bytes() != 0 {
+		t.Fatal("blob survived Delete")
+	}
+	if err := r.Delete(d); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := os.Stat(r.blobPath(d)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("blob file survived Delete")
+	}
+}
+
+func TestVerifyQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	r := open(t, dir)
+	good, _, _ := r.Put([]byte("good"))
+	bad, _, _ := r.Put([]byte("bad soon"))
+	raw, _ := os.ReadFile(r.blobPath(bad))
+	raw[len(raw)-1] ^= 0x80
+	if err := os.WriteFile(r.blobPath(bad), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Verify()
+	if rep.Checked != 2 || len(rep.Corrupt) != 1 || rep.Corrupt[0] != bad {
+		t.Fatalf("verify: %+v", rep)
+	}
+	if !r.Has(good) || r.Has(bad) {
+		t.Fatal("verify kept the wrong blobs")
+	}
+}
+
+func TestGCPurgesQuarantineAndTmp(t *testing.T) {
+	dir := t.TempDir()
+	r := open(t, dir)
+	d, _, _ := r.Put([]byte("to be quarantined"))
+	raw, _ := os.ReadFile(r.blobPath(d))
+	raw[len(raw)-1] ^= 0x80
+	os.WriteFile(r.blobPath(d), raw, 0o644)
+	r.Verify() // quarantines d
+	os.WriteFile(filepath.Join(dir, tmpDir, "leftover.tmp"), []byte("x"), 0o644)
+
+	rep, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QuarantineRemoved != 1 || rep.TempRemoved != 1 || rep.BytesReclaimed == 0 {
+		t.Fatalf("gc: %+v", rep)
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	rw := open(t, dir)
+	d, _, err := rw.Put([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ro.Get(d); err != nil || string(got) != "payload" {
+		t.Fatalf("read-only Get: %q, %v", got, err)
+	}
+	if _, _, err := ro.Put([]byte("nope")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Put: %v", err)
+	}
+	if err := ro.Delete(d); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Delete: %v", err)
+	}
+	if _, err := ro.GC(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only GC: %v", err)
+	}
+}
+
+func TestReadOnlyOpenRejectsMissingDir(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "no-such-repo"), Options{ReadOnly: true}); err == nil {
+		t.Fatal("read-only Open of a nonexistent dir must fail, not report an empty healthy repo")
+	}
+}
+
+func TestReadOnlyScanDoesNotQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	rw := open(t, dir)
+	d, _, _ := rw.Put([]byte("will corrupt"))
+	raw, _ := os.ReadFile(rw.blobPath(d))
+	raw[len(raw)-1] ^= 0x80
+	os.WriteFile(rw.blobPath(d), raw, 0o644)
+
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := ro.ScanReport(); rep.Quarantined != 1 {
+		t.Fatalf("scan: %+v", rep)
+	}
+	// The corrupt file must still be where it was: inspection tools
+	// must not mutate a live data dir.
+	if _, err := os.Stat(rw.blobPath(d)); err != nil {
+		t.Fatalf("read-only scan moved the blob: %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	r := open(t, t.TempDir())
+	for i := 0; i < 10; i++ {
+		if _, _, err := r.Put([]byte(fmt.Sprintf("item %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := r.List()
+	if len(l) != 10 {
+		t.Fatalf("len=%d", len(l))
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i-1].Digest.String() >= l[i].Digest.String() {
+			t.Fatal("List not sorted by digest")
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	r := open(t, t.TempDir())
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				// Half the digests collide across writers to exercise the
+				// concurrent same-digest Put path.
+				data := []byte(fmt.Sprintf("blob-%d", (w%2)*100+i))
+				d, _, err := r.Put(data)
+				if err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, err := r.Get(d)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("Get after Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 40 {
+		t.Fatalf("expected 40 distinct blobs, have %d", r.Len())
+	}
+	if rep := r.Verify(); len(rep.Corrupt) != 0 {
+		t.Fatalf("verify after concurrent writes: %+v", rep)
+	}
+}

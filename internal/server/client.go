@@ -139,3 +139,34 @@ func (c *Client) Stats() (StatsResponse, error) {
 	err := c.do(http.MethodGet, "/stats", nil, &out)
 	return out, err
 }
+
+// ListVBS lists every stored blob across the RAM and disk tiers.
+func (c *Client) ListVBS() ([]VBSInfo, error) {
+	var out []VBSInfo
+	err := c.do(http.MethodGet, "/vbs", nil, &out)
+	return out, err
+}
+
+// GetVBS downloads a stored container verbatim by hex digest.
+func (c *Client) GetVBS(digest string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/vbs/" + digest)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var er errorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// DeleteVBS drops a stored blob from both tiers. The daemon refuses
+// (409) while any live task references the digest.
+func (c *Client) DeleteVBS(digest string) error {
+	return c.do(http.MethodDelete, "/vbs/"+digest, nil, nil)
+}

@@ -1,0 +1,259 @@
+package server_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestRestartRoundTrip is the headline durability check: blobs loaded
+// into a daemon with a data dir survive an abrupt restart (no
+// shutdown hook runs — write-through makes Put durable), are listed,
+// digest-verified, and served from disk without re-upload.
+func TestRestartRoundTrip(t *testing.T) {
+	dataDir := t.TempDir()
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{DataDir: dataDir})
+	data, err := makeVBS(31, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a second daemon over the same directory. The first is
+	// simply abandoned, exactly like a SIGKILL — nothing flushed.
+	cl2, srv2 := newTestDaemon(t, 1, 16, server.Options{DataDir: dataDir})
+	if rep := srv2.RecoveryReport(); rep.Recovered != 1 || rep.Quarantined != 0 {
+		t.Fatalf("recovery scan: %+v", rep)
+	}
+	blobs, err := cl2.ListVBS()
+	if err != nil || len(blobs) != 1 {
+		t.Fatalf("ListVBS after restart: %v blobs, %v", len(blobs), err)
+	}
+	if blobs[0].Digest != resp.Digest || !blobs[0].Disk {
+		t.Fatalf("listed blob: %+v", blobs[0])
+	}
+	got, err := cl2.GetVBS(resp.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("blob served after restart differs from the upload")
+	}
+	// Content addressing makes the check self-certifying.
+	if sum := hex.EncodeToString(func() []byte { h := sha256.Sum256(got); return h[:] }()); sum != resp.Digest {
+		t.Fatalf("served bytes hash to %s, digest says %s", sum, resp.Digest)
+	}
+	// And the decoded load path works from the disk tier too: loading
+	// the same container again deduplicates against the recovered blob.
+	if _, err := cl2.Load(data, nil, nil, nil); err != nil {
+		t.Fatalf("load after restart: %v", err)
+	}
+	st, err := cl2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Repo.Enabled || st.Repo.Blobs != 1 || st.Repo.Recovered != 1 {
+		t.Fatalf("repo stats after restart: %+v", st.Repo)
+	}
+}
+
+// TestCorruptBlobQuarantinedAtScan flips bits in a stored blob and
+// asserts the restarted daemon quarantines it, reports it in /stats,
+// and never serves it.
+func TestCorruptBlobQuarantinedAtScan(t *testing.T) {
+	dataDir := t.TempDir()
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{DataDir: dataDir})
+	data, err := makeVBS(32, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobPath string
+	err = filepath.WalkDir(dataDir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".vbs") {
+			blobPath = path
+		}
+		return err
+	})
+	if err != nil || blobPath == "" {
+		t.Fatalf("blob file not found under %s: %v", dataDir, err)
+	}
+	raw, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(blobPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cl2, srv2 := newTestDaemon(t, 1, 16, server.Options{DataDir: dataDir})
+	if rep := srv2.RecoveryReport(); rep.Quarantined != 1 || rep.Recovered != 0 {
+		t.Fatalf("recovery scan: %+v", rep)
+	}
+	if _, err := cl2.GetVBS(resp.Digest); err == nil {
+		t.Fatal("corrupt blob was served")
+	}
+	st, err := cl2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repo.Quarantined != 1 || st.Repo.Blobs != 0 {
+		t.Fatalf("repo stats: %+v", st.Repo)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "quarantine", filepath.Base(blobPath))); err != nil {
+		t.Fatalf("blob not moved to quarantine: %v", err)
+	}
+}
+
+// TestEvictionFallsBackToDisk bounds the RAM store to one container
+// and proves the acceptance criterion: eviction with a data dir loses
+// no blob, and the fall-through returns identical bytes.
+func TestEvictionFallsBackToDisk(t *testing.T) {
+	a, err := makeVBS(33, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := makeVBS(34, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := newTestDaemon(t, 1, 24, server.Options{
+		DataDir:    t.TempDir(),
+		StoreBytes: len(a) + 1, // RAM holds one container at a time
+	})
+	ra, err := cl.Load(a, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Load(b, nil, nil, nil); err != nil { // evicts a from RAM
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repo.Demotions == 0 {
+		t.Fatalf("expected a demotion, stats: %+v", st.Repo)
+	}
+	got, err := cl.GetVBS(ra.Digest)
+	if err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("evicted blob not identical from disk: %v", err)
+	}
+	// Loading the evicted task again goes through the promotion path,
+	// not a 4xx.
+	if _, err := cl.Load(a, nil, nil, nil); err != nil {
+		t.Fatalf("re-load of evicted blob: %v", err)
+	}
+}
+
+func TestDeleteVBSRefusedWhileReferenced(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{DataDir: t.TempDir()})
+	data, err := makeVBS(35, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.DeleteVBS(resp.Digest)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("DeleteVBS with live task: %v", err)
+	}
+	if err := cl.Unload(resp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DeleteVBS(resp.Digest); err != nil {
+		t.Fatalf("DeleteVBS after unload: %v", err)
+	}
+	if _, err := cl.GetVBS(resp.Digest); err == nil {
+		t.Fatal("blob served after delete")
+	}
+	if err := cl.DeleteVBS(resp.Digest); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("double DeleteVBS: %v", err)
+	}
+}
+
+func TestVBSEndpointsWithoutDataDir(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{})
+	data, err := makeVBS(36, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := cl.ListVBS()
+	if err != nil || len(blobs) != 1 || !blobs[0].RAM || blobs[0].Disk {
+		t.Fatalf("RAM-only ListVBS: %+v, %v", blobs, err)
+	}
+	if blobs[0].Tasks != 1 {
+		t.Fatalf("reference count: %+v", blobs[0])
+	}
+	got, err := cl.GetVBS(resp.Digest)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("RAM-only GetVBS: %v", err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repo.Enabled {
+		t.Fatalf("repo reported enabled without a data dir: %+v", st.Repo)
+	}
+	if err := cl.DeleteVBS("zz-not-a-digest"); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("bad digest: %v", err)
+	}
+}
+
+// TestWarmDecodedStreamsFromDisk restarts a daemon over a populated
+// data dir and asserts WarmDecoded pre-fills the decoded cache: the
+// first load afterwards is a cache hit.
+func TestWarmDecodedStreamsFromDisk(t *testing.T) {
+	dataDir := t.TempDir()
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{DataDir: dataDir})
+	data, err := makeVBS(37, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Load(data, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cl2, srv2 := newTestDaemon(t, 1, 16, server.Options{DataDir: dataDir})
+	n, err := srv2.WarmDecoded(0)
+	if err != nil || n != 1 {
+		t.Fatalf("WarmDecoded: n=%d err=%v", n, err)
+	}
+	resp, err := cl2.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("first load after warm-up missed the decoded cache")
+	}
+	st, err := cl2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Satellite check: the decoded-cache counters are visible in
+	// /stats and reflect the traffic — one miss from the warm-up
+	// decode, at least one hit from the load that followed.
+	if st.Cache.Entries != 1 || st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Fatalf("cache stats not exposed or wrong: %+v", st.Cache)
+	}
+}

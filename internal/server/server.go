@@ -24,8 +24,17 @@
 //	POST   /tasks/{id}/relocate  {"x":, "y":}
 //	POST   /fabrics/{i}/compact  defragment one fabric
 //	GET    /fabrics              pool occupancy
-//	GET    /stats                counters, cache and latency figures
+//	GET    /vbs                  list stored blobs (both tiers)
+//	GET    /vbs/{digest}         raw container download
+//	DELETE /vbs/{digest}         drop a blob (409 while tasks reference it)
+//	GET    /stats                counters, cache, repo and latency figures
 //	GET    /healthz              liveness probe
+//
+// With Options.DataDir set, the store gains a persistent
+// content-addressed disk tier (internal/repo): admissions are written
+// through, RAM eviction demotes instead of deleting, misses fall
+// through to disk, and a boot recovery scan re-indexes surviving
+// blobs so a restarted daemon serves them without re-upload.
 package server
 
 import (
@@ -42,6 +51,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/fabric"
+	"repro/internal/repo"
 	"repro/internal/sched"
 	"repro/internal/server/store"
 )
@@ -61,6 +71,12 @@ type Options struct {
 	// Policy names the default placement policy (see sched.Names);
 	// empty selects sched.Default (emptiest-fabric).
 	Policy string
+	// DataDir roots the persistent blob tier (internal/repo). Empty
+	// keeps the store RAM-only: eviction deletes, restart loses
+	// everything. With a data dir, admissions are written through to
+	// disk, eviction demotes, misses fall through, and a boot recovery
+	// scan re-indexes (and quarantines) existing blobs.
+	DataDir string
 }
 
 // Server manages a pool of fabrics behind the HTTP API. Create one
@@ -77,6 +93,11 @@ type Server struct {
 	mu     sync.Mutex
 	tasks  map[int64]*task
 	nextID int64
+	// pending counts loads that have admitted a digest to the store
+	// but not yet registered (or abandoned) their task, so
+	// DELETE /vbs/{digest} cannot remove a blob out from under a load
+	// in flight.
+	pending map[store.Digest]int
 
 	decodes      atomic.Uint64
 	loadCount    atomic.Uint64
@@ -106,9 +127,15 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var disk *repo.Repo
+	if opts.DataDir != "" {
+		if disk, err = repo.Open(opts.DataDir, repo.Options{}); err != nil {
+			return nil, err
+		}
+	}
 	return &Server{
 		ctrls: ctrls,
-		store: store.NewBounded(opts.StoreBytes),
+		store: store.NewTiered(opts.StoreBytes, disk),
 		cache: store.NewCache[*controller.Decoded](opts.CacheBits,
 			func(d *controller.Decoded) int64 { return int64(d.SizeBits()) }),
 		flight:  store.NewFlight[*controller.Decoded](),
@@ -116,6 +143,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 		policy:  pol,
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
+		pending: make(map[store.Digest]int),
 	}, nil
 }
 
@@ -128,6 +156,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /tasks/{id}/relocate", s.handleRelocate)
 	mux.HandleFunc("POST /fabrics/{i}/compact", s.handleCompact)
 	mux.HandleFunc("GET /fabrics", s.handleFabrics)
+	mux.HandleFunc("GET /vbs", s.handleListVBS)
+	mux.HandleFunc("GET /vbs/{digest}", s.handleGetVBS)
+	mux.HandleFunc("DELETE /vbs/{digest}", s.handleDeleteVBS)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -189,6 +220,19 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad vbs container: %v", err)
 		return
 	}
+	// From admission until the task is registered (or this load gives
+	// up), hold a pending reference so a concurrent DELETE /vbs cannot
+	// drop the blob in the gap.
+	s.mu.Lock()
+	s.pending[ent.Digest]++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.pending[ent.Digest]--; s.pending[ent.Digest] <= 0 {
+			delete(s.pending, ent.Digest)
+		}
+		s.mu.Unlock()
+	}()
 	dec, cached, err := s.getOrDecode(ent)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "decode failed: %v", err)
@@ -473,6 +517,142 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CompactResponse{Fabric: i, Moved: moved})
 }
 
+// digestRefs counts live tasks per referenced digest.
+func (s *Server) digestRefs() map[store.Digest]int {
+	refs := make(map[store.Digest]int)
+	s.mu.Lock()
+	for _, t := range s.tasks {
+		refs[t.digest]++
+	}
+	s.mu.Unlock()
+	return refs
+}
+
+// handleListVBS lists every stored blob across both tiers.
+func (s *Server) handleListVBS(w http.ResponseWriter, r *http.Request) {
+	refs := s.digestRefs()
+	blobs := s.store.List()
+	out := make([]VBSInfo, 0, len(blobs))
+	for _, b := range blobs {
+		out = append(out, VBSInfo{
+			Digest: b.Digest.String(),
+			Bytes:  b.Bytes,
+			RAM:    b.RAM,
+			Disk:   b.Disk,
+			Tasks:  refs[b.Digest],
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// digestFromPath resolves {digest} or replies 400.
+func digestFromPath(w http.ResponseWriter, r *http.Request) (store.Digest, bool) {
+	d, err := store.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return d, false
+	}
+	return d, true
+}
+
+// handleGetVBS serves a stored container verbatim — the raw-blob
+// download path, straight from whichever tier holds the digest.
+func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
+	d, ok := digestFromPath(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.store.GetData(d)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
+		return
+	case err != nil:
+		// Disk-tier verification failure: the blob was quarantined and
+		// must not be served.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleDeleteVBS removes a blob from both tiers, refusing while any
+// live task still references it (its decode came from these bytes;
+// losing them would orphan re-decode and audit paths). The reference
+// check and the delete run under one lock so a load registering
+// between them cannot be orphaned; loads that have admitted the
+// digest but not yet registered count via s.pending.
+func (s *Server) handleDeleteVBS(w http.ResponseWriter, r *http.Request) {
+	d, ok := digestFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	refs := s.pending[d]
+	for _, t := range s.tasks {
+		if t.digest == d {
+			refs++
+		}
+	}
+	if refs > 0 {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "vbs %s referenced by %d live task(s)", d.Short(), refs)
+		return
+	}
+	// Deleting under s.mu stalls task registration for the duration of
+	// one disk unlink — acceptable for a rare admin operation, and the
+	// price of making "referenced" and "deleted" mutually exclusive.
+	err := s.store.Delete(d)
+	s.mu.Unlock()
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Flush writes any RAM-only blobs through to the disk tier — called
+// by vbsd on graceful shutdown (a safety net over the write-through
+// admission path; usually a no-op).
+func (s *Server) Flush() error { return s.store.Flush() }
+
+// RecoveryReport returns the disk tier's boot recovery scan (zero
+// without a data dir).
+func (s *Server) RecoveryReport() repo.ScanReport {
+	if disk := s.store.Disk(); disk != nil {
+		return disk.ScanReport()
+	}
+	return repo.ScanReport{}
+}
+
+// WarmDecoded streams up to max blobs (0 = all) from the store —
+// promoting disk-resident ones — and decodes them into the
+// decoded-bitstream cache, so a restarted daemon serves its first
+// loads at cache-hit latency. It returns how many blobs were warmed.
+func (s *Server) WarmDecoded(max int) (int, error) {
+	warmed := 0
+	for _, b := range s.store.List() {
+		if max > 0 && warmed >= max {
+			break
+		}
+		ent, err := s.store.Fetch(b.Digest)
+		if err != nil {
+			return warmed, err
+		}
+		if _, _, err := s.getOrDecode(ent); err != nil {
+			return warmed, err
+		}
+		warmed++
+	}
+	return warmed, nil
+}
+
 // Stats assembles the daemon-wide snapshot served at /stats.
 func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
@@ -490,6 +670,18 @@ func (s *Server) Stats() StatsResponse {
 	if lat.Count > 0 {
 		lat.MeanMS = float64(s.loadNanos.Load()) / float64(lat.Count) / float64(time.Millisecond)
 		lat.MaxMS = float64(s.loadMax.Load()) / float64(time.Millisecond)
+	}
+	tiers := s.store.TierStats()
+	ri := RepoInfo{Demotions: tiers.Demotions, Promotions: tiers.Promotions}
+	if disk := s.store.Disk(); disk != nil {
+		ds := disk.Stats()
+		ri.Enabled = true
+		ri.Blobs = ds.Blobs
+		ri.Bytes = ds.Bytes
+		ri.Recovered = ds.Recovered
+		ri.Quarantined = ds.Quarantined
+		ri.Reads = ds.Reads
+		ri.Writes = ds.Writes
 	}
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -518,6 +710,7 @@ func (s *Server) Stats() StatsResponse {
 			Bytes:                s.store.Bytes(),
 			MeanCompressionRatio: s.store.MeanCompressionRatio(),
 		},
+		Repo:    ri,
 		Fabrics: s.fabricInfos(),
 	}
 }

@@ -1,46 +1,47 @@
 // Package store is the storage layer of the vbsd runtime daemon: a
-// content-addressed Virtual Bit-Stream store, a size-bounded LRU cache
-// for decoded (de-virtualized) bitstreams, and a small singleflight
-// group that collapses concurrent decodes of the same task.
+// content-addressed Virtual Bit-Stream store with an optional
+// persistent disk tier, a size-bounded LRU cache for decoded
+// (de-virtualized) bitstreams, and a small singleflight group that
+// collapses concurrent decodes of the same task.
 //
 // Content addressing keys every VBS by the SHA-256 of its container
 // bytes. Encoding is deterministic, so identical tasks submitted by
 // different clients collapse to one stored VBS, one decode, and one
 // cache entry — the property that makes repeated loads O(write).
+//
+// With a disk tier attached (NewTiered), the store becomes a
+// two-level hierarchy: admissions are written through to the
+// crash-safe internal/repo blob store, RAM eviction merely demotes
+// (the disk copy remains), and Get misses fall through to disk,
+// re-parse, and promote back into RAM under a singleflight guard so
+// a thundering herd for one digest costs one disk read.
 package store
 
 import (
+	"bytes"
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/repo"
 )
 
-// Digest is the SHA-256 content address of a VBS container.
-type Digest [sha256.Size]byte
+// Digest is the SHA-256 content address of a VBS container. It is an
+// alias of repo.Digest: the persistence tier and the RAM tier key
+// blobs identically.
+type Digest = repo.Digest
 
 // DigestOf returns the content address of raw container bytes.
-func DigestOf(data []byte) Digest { return sha256.Sum256(data) }
+func DigestOf(data []byte) Digest { return repo.DigestOf(data) }
 
-// String returns the full lowercase hex form.
-func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+// ParseDigest reads the hex form produced by Digest.String.
+func ParseDigest(s string) (Digest, error) { return repo.ParseDigest(s) }
 
-// Short returns a 12-hex-digit prefix for logs and task listings.
-func (d Digest) Short() string { return d.String()[:12] }
-
-// ParseDigest reads the hex form produced by String.
-func ParseDigest(s string) (Digest, error) {
-	var d Digest
-	b, err := hex.DecodeString(s)
-	if err != nil || len(b) != sha256.Size {
-		return d, fmt.Errorf("store: bad digest %q", s)
-	}
-	copy(d[:], b)
-	return d, nil
-}
+// ErrNotFound reports a digest held by neither tier.
+var ErrNotFound = errors.New("store: not found")
 
 // Entry is one stored Virtual Bit-Stream.
 type Entry struct {
@@ -56,34 +57,67 @@ type Entry struct {
 // SizeBytes returns the container size.
 func (e *Entry) SizeBytes() int { return len(e.Data) }
 
-// Store is an in-memory content-addressed VBS store, safe for
-// concurrent use. When bounded, least-recently-used entries are
-// evicted by container bytes; eviction only costs future
-// deduplication — already-loaded tasks keep their own references.
+// TierStats counts traffic between the RAM and disk tiers.
+type TierStats struct {
+	// Demotions counts RAM evictions that left the blob disk-only.
+	Demotions uint64 `json:"demotions"`
+	// Promotions counts Get misses served by re-reading, re-parsing
+	// and re-admitting a blob from disk.
+	Promotions uint64 `json:"promotions"`
+}
+
+// BlobStat describes one blob in List, with its tier residency.
+type BlobStat struct {
+	Digest Digest
+	Bytes  int64
+	RAM    bool
+	Disk   bool
+}
+
+// Store is a content-addressed VBS store, safe for concurrent use.
+// The RAM tier is an LRU bounded by container bytes; when a disk tier
+// is attached, eviction demotes instead of deleting and misses fall
+// through to disk.
 type Store struct {
 	mu       sync.Mutex
 	capBytes int
 	entries  map[Digest]*list.Element
 	order    *list.List // front = most recently used; holds *Entry
 	bytes    int
+	tier     TierStats
+
+	disk    *repo.Repo      // optional persistence tier
+	promote *Flight[*Entry] // collapses concurrent disk promotions
 }
 
-// New returns an unbounded store.
-func New() *Store { return NewBounded(0) }
+// New returns an unbounded RAM-only store.
+func New() *Store { return NewTiered(0, nil) }
 
-// NewBounded returns a store evicting least-recently-used entries
-// once stored container bytes exceed capBytes (<= 0 = unbounded).
-func NewBounded(capBytes int) *Store {
+// NewBounded returns a RAM-only store evicting least-recently-used
+// entries once stored container bytes exceed capBytes (<= 0 =
+// unbounded). Without a disk tier, eviction deletes.
+func NewBounded(capBytes int) *Store { return NewTiered(capBytes, nil) }
+
+// NewTiered returns a store with an optional persistent tier beneath
+// the RAM LRU. disk may be nil (RAM-only).
+func NewTiered(capBytes int, disk *repo.Repo) *Store {
 	return &Store{
 		capBytes: capBytes,
 		entries:  make(map[Digest]*list.Element),
 		order:    list.New(),
+		disk:     disk,
+		promote:  NewFlight[*Entry](),
 	}
 }
 
+// Disk returns the attached persistence tier (nil when RAM-only).
+func (s *Store) Disk() *repo.Repo { return s.disk }
+
 // Put parses and admits a VBS container, returning its entry and
-// whether it was already stored. A malformed container is rejected
-// without being stored.
+// whether it was already stored in RAM. A malformed container is
+// rejected without being stored. With a disk tier, the blob is
+// written through to disk before the entry becomes visible, so a
+// crash after Put returns cannot lose it.
 func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
 	d := DigestOf(data)
 	s.mu.Lock()
@@ -102,13 +136,23 @@ func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
 		return nil, false, err
 	}
 	ent = &Entry{Digest: d, VBS: v, Data: append([]byte(nil), data...)}
+	if s.disk != nil {
+		if _, err := s.disk.PutDigest(d, ent.Data); err != nil {
+			return nil, false, err
+		}
+	}
+	return s.admit(ent)
+}
+
+// admit inserts a parsed entry into the RAM tier, running eviction.
+func (s *Store) admit(ent *Entry) (*Entry, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.entries[d]; ok {
+	if el, ok := s.entries[ent.Digest]; ok {
 		s.order.MoveToFront(el)
 		return el.Value.(*Entry), true, nil
 	}
-	s.entries[d] = s.order.PushFront(ent)
+	s.entries[ent.Digest] = s.order.PushFront(ent)
 	s.bytes += len(ent.Data)
 	for s.capBytes > 0 && s.bytes > s.capBytes && s.order.Len() > 1 {
 		el := s.order.Back()
@@ -116,12 +160,17 @@ func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
 		s.order.Remove(el)
 		delete(s.entries, old.Digest)
 		s.bytes -= len(old.Data)
+		if s.disk != nil {
+			// Write-through at Put time means the blob is already on
+			// disk: eviction is a demotion, not a loss.
+			s.tier.Demotions++
+		}
 	}
 	return ent, false, nil
 }
 
-// Get returns a stored entry by digest, marking it recently used.
-func (s *Store) Get(d Digest) (*Entry, bool) {
+// getRAM returns a RAM-resident entry, marking it recently used.
+func (s *Store) getRAM(d Digest) (*Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.entries[d]
@@ -132,23 +181,188 @@ func (s *Store) Get(d Digest) (*Entry, bool) {
 	return el.Value.(*Entry), true
 }
 
-// Len returns the number of distinct stored VBS.
+// Get returns a stored entry by digest, marking it recently used. A
+// RAM miss falls through to the disk tier: the blob is read once
+// (concurrent misses for the same digest share one disk read),
+// re-parsed, and promoted back into RAM. Disk errors degrade to a
+// miss here; use Fetch when the cause matters.
+func (s *Store) Get(d Digest) (*Entry, bool) {
+	ent, err := s.Fetch(d)
+	return ent, err == nil
+}
+
+// Fetch is Get with errors: ErrNotFound when neither tier holds the
+// digest, otherwise the disk read/parse failure.
+func (s *Store) Fetch(d Digest) (*Entry, error) {
+	if ent, ok := s.getRAM(d); ok {
+		return ent, nil
+	}
+	if s.disk == nil {
+		return nil, ErrNotFound
+	}
+	ent, err, _ := s.promote.Do(d, func() (*Entry, error) {
+		// Re-check RAM inside the flight: a caller that lost the race
+		// with a finished promotion must not read the disk again.
+		if ent, ok := s.getRAM(d); ok {
+			return ent, nil
+		}
+		data, err := s.disk.Get(d)
+		if err != nil {
+			if errors.Is(err, repo.ErrNotFound) {
+				return nil, ErrNotFound
+			}
+			return nil, err
+		}
+		v, err := core.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("store: promote %s: %w", d.Short(), err)
+		}
+		if err := v.Warm(); err != nil {
+			return nil, fmt.Errorf("store: promote %s: %w", d.Short(), err)
+		}
+		ent := &Entry{Digest: d, VBS: v, Data: data}
+		ent, _, _ = s.admit(ent)
+		s.mu.Lock()
+		s.tier.Promotions++
+		s.mu.Unlock()
+		return ent, nil
+	})
+	return ent, err
+}
+
+// GetData returns a blob's raw container bytes from whichever tier
+// holds it, without parsing or promoting — the cheap path for raw
+// blob downloads.
+func (s *Store) GetData(d Digest) ([]byte, error) {
+	if ent, ok := s.getRAM(d); ok {
+		return ent.Data, nil
+	}
+	if s.disk == nil {
+		return nil, ErrNotFound
+	}
+	data, err := s.disk.Get(d)
+	if errors.Is(err, repo.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return data, err
+}
+
+// Has reports whether any tier holds the digest.
+func (s *Store) Has(d Digest) bool {
+	s.mu.Lock()
+	_, ram := s.entries[d]
+	s.mu.Unlock()
+	if ram {
+		return true
+	}
+	return s.disk != nil && s.disk.Has(d)
+}
+
+// Delete removes a digest from both tiers. It returns ErrNotFound
+// when neither held it; reference checking (live tasks) is the
+// caller's job.
+func (s *Store) Delete(d Digest) error {
+	found := false
+	s.mu.Lock()
+	if el, ok := s.entries[d]; ok {
+		old := el.Value.(*Entry)
+		s.order.Remove(el)
+		delete(s.entries, d)
+		s.bytes -= len(old.Data)
+		found = true
+	}
+	s.mu.Unlock()
+	if s.disk != nil {
+		switch err := s.disk.Delete(d); {
+		case err == nil:
+			found = true
+		case !errors.Is(err, repo.ErrNotFound):
+			return err
+		}
+	}
+	if !found {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// List merges both tiers into one blob listing sorted by digest.
+func (s *Store) List() []BlobStat {
+	byDigest := map[Digest]*BlobStat{}
+	if s.disk != nil {
+		for _, b := range s.disk.List() {
+			byDigest[b.Digest] = &BlobStat{Digest: b.Digest, Bytes: b.Bytes, Disk: true}
+		}
+	}
+	s.mu.Lock()
+	for d, el := range s.entries {
+		if b, ok := byDigest[d]; ok {
+			b.RAM = true
+		} else {
+			byDigest[d] = &BlobStat{Digest: d, Bytes: int64(el.Value.(*Entry).SizeBytes()), RAM: true}
+		}
+	}
+	s.mu.Unlock()
+	out := make([]BlobStat, 0, len(byDigest))
+	for _, b := range byDigest {
+		out = append(out, *b)
+	}
+	// Byte order equals hex order, so compare raw digests.
+	sort.Slice(out, func(a, b int) bool {
+		return bytes.Compare(out[a].Digest[:], out[b].Digest[:]) < 0
+	})
+	return out
+}
+
+// Flush writes every RAM-resident blob missing from the disk tier
+// through to it — a graceful-shutdown belt over the write-through
+// braces (a no-op unless a disk write was impossible at Put time).
+func (s *Store) Flush() error {
+	if s.disk == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ents := make([]*Entry, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		ents = append(ents, el.Value.(*Entry))
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, ent := range ents {
+		if s.disk.Has(ent.Digest) {
+			continue
+		}
+		if _, err := s.disk.PutDigest(ent.Digest, ent.Data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// TierStats returns RAM/disk traffic counters.
+func (s *Store) TierStats() TierStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tier
+}
+
+// Len returns the number of distinct RAM-resident VBS.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
 }
 
-// Bytes returns the total stored container bytes.
+// Bytes returns the total RAM-resident container bytes.
 func (s *Store) Bytes() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bytes
 }
 
-// MeanCompressionRatio averages VBS-size/raw-size over the stored
-// tasks (the paper's Figure 4 metric; smaller is better). It returns
-// 0 for an empty store.
+// MeanCompressionRatio averages VBS-size/raw-size over the
+// RAM-resident tasks (the paper's Figure 4 metric; smaller is
+// better). It returns 0 for an empty store.
 func (s *Store) MeanCompressionRatio() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

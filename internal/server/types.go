@@ -100,6 +100,40 @@ type StoreInfo struct {
 	MeanCompressionRatio float64 `json:"mean_compression_ratio"`
 }
 
+// RepoInfo describes the persistent blob tier in GET /stats. All
+// fields but Enabled are zero when the daemon runs without -data-dir.
+type RepoInfo struct {
+	// Enabled reports whether a disk tier is attached.
+	Enabled bool `json:"enabled"`
+	// Blobs / Bytes describe the on-disk index.
+	Blobs int   `json:"blobs"`
+	Bytes int64 `json:"bytes"`
+	// Demotions counts RAM evictions that left a blob disk-only;
+	// Promotions counts RAM misses served by re-reading from disk.
+	Demotions  uint64 `json:"demotions"`
+	Promotions uint64 `json:"promotions"`
+	// Recovered / Quarantined report the boot recovery scan plus any
+	// read-time verification failures since.
+	Recovered   int `json:"recovered"`
+	Quarantined int `json:"quarantined"`
+	// Reads / Writes count blob payloads served from and persisted to
+	// disk since boot.
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+}
+
+// VBSInfo describes one stored blob in GET /vbs.
+type VBSInfo struct {
+	Digest string `json:"digest"`
+	Bytes  int64  `json:"bytes"`
+	// RAM / Disk report tier residency (both may be true).
+	RAM  bool `json:"ram"`
+	Disk bool `json:"disk"`
+	// Tasks counts live tasks currently referencing the blob; a blob
+	// with Tasks > 0 refuses DELETE /vbs/{digest}.
+	Tasks int `json:"tasks"`
+}
+
 // PlacementInfo summarizes the placement engine in GET /stats.
 type PlacementInfo struct {
 	// Policy is the server's default placement policy.
@@ -125,6 +159,7 @@ type StatsResponse struct {
 	Placement     PlacementInfo `json:"placement"`
 	Cache         CacheInfo     `json:"cache"`
 	Store         StoreInfo     `json:"store"`
+	Repo          RepoInfo      `json:"repo"`
 	Fabrics       []FabricInfo  `json:"fabrics"`
 }
 
