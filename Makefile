@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke persist-smoke
+.PHONY: all build test race bench bench-smoke bench-serve persist-smoke cluster-smoke
 
 all: build test
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/repo/ ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
+	$(GO) test -race ./internal/server/... ./internal/repo/ ./internal/cluster/ ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
 
 # bench runs the decode scoreboard benchmarks and refreshes the
 # committed perf baseline BENCH_decode.json (benchmark name -> ns/op,
@@ -28,7 +28,18 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkDecode$$|BenchmarkParallelDecode$$' -benchtime 1x .
 
+# bench-serve refreshes the committed serve-path baseline
+# BENCH_serve.json with a vbsload mix against a real daemon.
+bench-serve:
+	./scripts/bench_serve.sh
+
 # persist-smoke proves the vbsd -data-dir durability loop against a
 # real daemon and a SIGKILL (see scripts/persistence_smoke.sh).
 persist-smoke:
 	./scripts/persistence_smoke.sh
+
+# cluster-smoke proves the vbsgw sharded-serving loop: 3 nodes +
+# gateway, replicated loads, an out-of-band import, a SIGKILL, and
+# byte-identical failover (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	./scripts/cluster_smoke.sh

@@ -1,0 +1,93 @@
+// Command vbsgw is the cluster gateway: it fronts a fleet of vbsd
+// nodes with the exact single-daemon HTTP/JSON API, so any vbsd
+// client (including the unchanged server.Client) scales from one
+// process to N without modification.
+//
+//	vbsgw -addr :8930 -nodes http://n1:8931,http://n2:8931,http://n3:8931 -replicas 2
+//
+// Blob operations route by content address over a deterministic
+// consistent-hash ring (virtual nodes): each digest has a primary
+// node plus -replicas−1 replicas, loads write the container through
+// to every replica before replying, reads fail over across the
+// replica set (falling back to a full scatter for blobs imported
+// out-of-band) and heal missing replicas on the way (read-repair).
+// Fleet-wide endpoints (GET /vbs, /tasks, /fabrics, /stats)
+// scatter-gather and merge; /stats gains a `cluster` block (node
+// health, per-node occupancy, ring version, traffic counters).
+//
+// Node health is probed every -probe-interval; a node is suspect
+// after one failure and down after two, and revives on the next
+// successful probe or request.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8930", "listen address")
+		nodes    = flag.String("nodes", "", "comma-separated vbsd base URLs (required)")
+		replicas = flag.Int("replicas", 2, "nodes holding each blob (primary + R-1 replicas)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per physical node on the hash ring")
+		probe    = flag.Duration("probe-interval", 2*time.Second, "health probe interval")
+		probeTmo = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		hopTmo   = flag.Duration("hop-timeout", 15*time.Second, "per-hop timeout for proxied calls")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			urls = append(urls, n)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatalf("vbsgw: -nodes is required (comma-separated vbsd base URLs)")
+	}
+
+	gw, err := cluster.New(urls, cluster.Options{
+		Replicas:      *replicas,
+		VNodes:        *vnodes,
+		ProbeInterval: *probe,
+		ProbeTimeout:  *probeTmo,
+		HopTimeout:    *hopTmo,
+	})
+	if err != nil {
+		log.Fatalf("vbsgw: %v", err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	gw.Start(ctx)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("vbsgw: serving %d node(s) on %s (replicas=%d, ring %s)",
+		len(urls), *addr, *replicas, strings.Join(urls, ","))
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("vbsgw: %v", err)
+	}
+	gw.Stop()
+	log.Printf("vbsgw: shut down")
+}

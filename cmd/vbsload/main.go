@@ -1,0 +1,419 @@
+// Command vbsload drives load at a vbsd daemon or vbsgw gateway
+// (both speak the same API) and reports serve-path throughput and
+// latency percentiles — the serving-side counterpart of the decode
+// benchmarks (committed baseline: BENCH_serve.json).
+//
+//	vbsload -url http://localhost:8930 -workers 8 -ops 500 -mix 20:60:20
+//	vbsload -url http://localhost:8931 -duration 10s -json > BENCH_serve.json
+//
+// The op mix is load:get:unload percentages. Before the run, vbsload
+// asks GET /fabrics for the target's channel width and LUT size and
+// compiles -tasks distinct small designs to matching VBS containers,
+// so the measured loads pay the real store/decode/place path. A get
+// fetches a previously loaded blob; an unload removes a previously
+// loaded task; both degrade to a load while nothing is loaded yet.
+// Remaining tasks are unloaded at the end unless -cleanup=false.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rrg"
+	"repro/internal/server"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// opKind indexes the per-op scoreboards.
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opGet
+	opUnload
+	nOps
+)
+
+var opNames = [nOps]string{"load", "get", "unload"}
+
+// opStats is one op type's summary.
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// summary is the -json document.
+type summary struct {
+	URL        string             `json:"url"`
+	Workers    int                `json:"workers"`
+	Mix        string             `json:"mix"`
+	Tasks      int                `json:"distinct_tasks"`
+	WallS      float64            `json:"wall_s"`
+	Ops        int                `json:"ops"`
+	Errors     int                `json:"errors"`
+	ReqPerSec  float64            `json:"req_per_sec"`
+	PerOp      map[string]opStats `json:"per_op"`
+	LastErrors map[string]string  `json:"last_errors,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vbsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "http://localhost:8931", "vbsd or vbsgw base URL")
+		workers  = fs.Int("workers", 8, "concurrent workers")
+		ops      = fs.Int("ops", 0, "total operation count (0 = run for -duration)")
+		duration = fs.Duration("duration", 10*time.Second, "run length when -ops is 0")
+		mix      = fs.String("mix", "20:60:20", "load:get:unload percentages")
+		tasks    = fs.Int("tasks", 8, "distinct task containers to generate")
+		seed     = fs.Int64("seed", 1, "generation and mix seed")
+		jsonOut  = fs.Bool("json", false, "emit a JSON summary on stdout")
+		cleanup  = fs.Bool("cleanup", true, "unload remaining tasks at the end")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(stderr, "vbsload: %v\n", err)
+		return 2
+	}
+	if *workers < 1 || *tasks < 1 || (*ops == 0 && *duration <= 0) {
+		fmt.Fprintln(stderr, "vbsload: need -workers >= 1, -tasks >= 1 and a positive -ops or -duration")
+		return 2
+	}
+
+	cl := server.NewClient(*url, nil)
+	fabrics, err := cl.Fabrics()
+	if err != nil || len(fabrics) == 0 {
+		fmt.Fprintf(stderr, "vbsload: cannot read %s/fabrics: %v\n", *url, err)
+		return 1
+	}
+	w, k := fabrics[0].W, fabrics[0].K
+
+	fmt.Fprintf(stderr, "vbsload: generating %d task(s) for W=%d K=%d fabrics\n", *tasks, w, k)
+	containers := make([][]byte, *tasks)
+	for i := range containers {
+		if containers[i], err = genTask(*seed+int64(i), w, k); err != nil {
+			fmt.Fprintf(stderr, "vbsload: task generation: %v\n", err)
+			return 1
+		}
+	}
+
+	bench := newBench(cl, containers, weights, *seed)
+	wall := bench.run(*workers, *ops, *duration)
+	if *cleanup {
+		bench.drain()
+	}
+
+	s := bench.summarize(*url, *workers, *mix, wall)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintf(stderr, "vbsload: %v\n", err)
+			return 1
+		}
+	} else {
+		printSummary(stdout, s)
+	}
+	if s.Ops == 0 {
+		fmt.Fprintln(stderr, "vbsload: no operation completed")
+		return 1
+	}
+	return 0
+}
+
+// parseMix reads "load:get:unload" percentages.
+func parseMix(s string) ([nOps]int, error) {
+	var out [nOps]int
+	parts := strings.Split(s, ":")
+	if len(parts) != int(nOps) {
+		return out, fmt.Errorf("bad -mix %q: want load:get:unload", s)
+	}
+	total := 0
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(p, "%d", &out[i]); err != nil || out[i] < 0 {
+			return out, fmt.Errorf("bad -mix %q", s)
+		}
+		total += out[i]
+	}
+	if total == 0 {
+		return out, fmt.Errorf("bad -mix %q: all zero", s)
+	}
+	return out, nil
+}
+
+// genTask compiles a small random design to a VBS container matching
+// the target's channel width and LUT size.
+func genTask(seed int64, w, k int) ([]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := &netlist.Design{Name: "loadgen", K: k}
+	var nets []netlist.NetID
+	for i := 0; i < 4; i++ {
+		_, n := d.AddInputPad("pi")
+		nets = append(nets, n)
+	}
+	for i := 0; i < 8; i++ {
+		nin := rng.Intn(3) + 1
+		ins := make([]netlist.NetID, nin)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		truth := bits.NewVec(1 << k)
+		for b := 0; b < 1<<k; b++ {
+			truth.Set(b, rng.Intn(2) == 0)
+		}
+		_, n := d.AddLogicBlock("lb", ins, truth, false)
+		nets = append(nets, n)
+	}
+	for i := 0; i < 4; i++ {
+		d.AddOutputPad("po", nets[len(nets)-1-i])
+	}
+	pl, err := place.Place(d, arch.GridForSize(4), place.Options{Seed: seed, InnerNum: 1, FastExit: true})
+	if err != nil {
+		return nil, err
+	}
+	gr, err := rrg.Build(arch.Params{W: w, K: k}, pl.Grid)
+	if err != nil {
+		return nil, err
+	}
+	res, err := route.Route(d, pl, gr, route.Options{})
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := core.Encode(d, pl, res, core.EncodeOptions{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	return v.Encode()
+}
+
+// bench is the shared run state.
+type bench struct {
+	cl         *server.Client
+	containers [][]byte
+	weights    [nOps]int
+	wsum       int
+	seed       int64
+
+	mu      sync.Mutex
+	loaded  []int64  // task ids available for unload
+	digests []string // digests available for get
+	lastErr [nOps]string
+	lats    [nOps][]float64 // milliseconds
+	errs    [nOps]int
+}
+
+func newBench(cl *server.Client, containers [][]byte, weights [nOps]int, seed int64) *bench {
+	b := &bench{cl: cl, containers: containers, weights: weights, seed: seed}
+	for _, w := range weights {
+		b.wsum += w
+	}
+	return b
+}
+
+// pick draws an op kind from the mix, degrading get/unload to load
+// while their prerequisites don't exist yet.
+func (b *bench) pick(rng *rand.Rand) opKind {
+	n := rng.Intn(b.wsum)
+	var op opKind
+	for i := opLoad; i < nOps; i++ {
+		if n < b.weights[i] {
+			op = i
+			break
+		}
+		n -= b.weights[i]
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if op == opGet && len(b.digests) == 0 {
+		return opLoad
+	}
+	if op == opUnload && len(b.loaded) == 0 {
+		return opLoad
+	}
+	return op
+}
+
+func (b *bench) record(op opKind, start time.Time, err error) {
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lats[op] = append(b.lats[op], ms)
+	if err != nil {
+		b.errs[op]++
+		b.lastErr[op] = err.Error()
+	}
+}
+
+func (b *bench) doOne(rng *rand.Rand) {
+	switch op := b.pick(rng); op {
+	case opLoad:
+		data := b.containers[rng.Intn(len(b.containers))]
+		start := time.Now()
+		res, err := b.cl.Load(data, nil, nil, nil)
+		b.record(op, start, err)
+		if err == nil {
+			b.mu.Lock()
+			b.loaded = append(b.loaded, res.ID)
+			b.digests = appendUnique(b.digests, res.Digest)
+			b.mu.Unlock()
+		}
+	case opGet:
+		b.mu.Lock()
+		d := b.digests[rng.Intn(len(b.digests))]
+		b.mu.Unlock()
+		start := time.Now()
+		_, err := b.cl.GetVBS(d)
+		b.record(op, start, err)
+	case opUnload:
+		b.mu.Lock()
+		if len(b.loaded) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		i := rng.Intn(len(b.loaded))
+		id := b.loaded[i]
+		b.loaded[i] = b.loaded[len(b.loaded)-1]
+		b.loaded = b.loaded[:len(b.loaded)-1]
+		b.mu.Unlock()
+		start := time.Now()
+		err := b.cl.Unload(id)
+		b.record(op, start, err)
+	}
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// run fans workers out until the op budget or the clock runs dry and
+// returns the wall time.
+func (b *bench) run(workers, ops int, duration time.Duration) time.Duration {
+	var counter atomic.Int64
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(b.seed + int64(i)*7919))
+			for {
+				if ops > 0 {
+					if counter.Add(1) > int64(ops) {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				b.doOne(rng)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// drain unloads everything the run left behind (not measured).
+func (b *bench) drain() {
+	b.mu.Lock()
+	ids := append([]int64(nil), b.loaded...)
+	b.loaded = nil
+	b.mu.Unlock()
+	for _, id := range ids {
+		_ = b.cl.Unload(id)
+	}
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (b *bench) summarize(url string, workers int, mix string, wall time.Duration) summary {
+	s := summary{
+		URL:     url,
+		Workers: workers,
+		Mix:     mix,
+		Tasks:   len(b.containers),
+		WallS:   wall.Seconds(),
+		PerOp:   map[string]opStats{},
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for op := opLoad; op < nOps; op++ {
+		lat := append([]float64(nil), b.lats[op]...)
+		sort.Float64s(lat)
+		st := opStats{
+			Count:  len(lat),
+			Errors: b.errs[op],
+			P50MS:  percentile(lat, 0.50),
+			P90MS:  percentile(lat, 0.90),
+			P99MS:  percentile(lat, 0.99),
+		}
+		if len(lat) > 0 {
+			st.MaxMS = lat[len(lat)-1]
+		}
+		s.PerOp[opNames[op]] = st
+		s.Ops += st.Count
+		s.Errors += st.Errors
+		if b.lastErr[op] != "" {
+			if s.LastErrors == nil {
+				s.LastErrors = map[string]string{}
+			}
+			s.LastErrors[opNames[op]] = b.lastErr[op]
+		}
+	}
+	if s.WallS > 0 {
+		s.ReqPerSec = float64(s.Ops) / s.WallS
+	}
+	return s
+}
+
+func printSummary(w io.Writer, s summary) {
+	fmt.Fprintf(w, "target   : %s (%d workers, mix %s, %d distinct tasks)\n",
+		s.URL, s.Workers, s.Mix, s.Tasks)
+	fmt.Fprintf(w, "total    : %d ops in %.2fs = %.1f req/s, %d error(s)\n",
+		s.Ops, s.WallS, s.ReqPerSec, s.Errors)
+	for _, name := range opNames {
+		st := s.PerOp[name]
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-9s: %6d ops  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  (%d err)\n",
+			name, st.Count, st.P50MS, st.P90MS, st.P99MS, st.MaxMS, st.Errors)
+	}
+	for name, msg := range s.LastErrors {
+		fmt.Fprintf(w, "last %s error: %s\n", name, msg)
+	}
+}

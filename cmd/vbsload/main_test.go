@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/controller"
+	"repro/internal/fabric"
+	"repro/internal/server"
+)
+
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	f, err := fabric.New(arch.Params{W: 8, K: 6}, arch.Grid{Width: 64, Height: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New([]*controller.Controller{controller.New(f, 2)}, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+func TestRunJSONSummary(t *testing.T) {
+	url := startDaemon(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", url, "-ops", "40", "-workers", "4",
+		"-tasks", "2", "-mix", "40:40:20", "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	var s summary
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, stdout.String())
+	}
+	if s.Ops != 40 {
+		t.Errorf("ops = %d, want 40", s.Ops)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d (%v)", s.Errors, s.LastErrors)
+	}
+	if s.ReqPerSec <= 0 || s.WallS <= 0 {
+		t.Errorf("throughput fields = %+v", s)
+	}
+	if s.PerOp["load"].Count == 0 {
+		t.Error("no load op ran")
+	}
+	for name, st := range s.PerOp {
+		if st.Count > 0 && (st.P50MS <= 0 || st.MaxMS < st.P99MS || st.P99MS < st.P50MS) {
+			t.Errorf("%s percentiles inconsistent: %+v", name, st)
+		}
+	}
+
+	// Cleanup drained every loaded task.
+	cl := server.NewClient(url, nil)
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Errorf("%d task(s) left after cleanup", len(tasks))
+	}
+}
+
+func TestRunHumanSummary(t *testing.T) {
+	url := startDaemon(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", url, "-ops", "10", "-workers", "2", "-tasks", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "req/s") || !strings.Contains(out, "p99") {
+		t.Errorf("summary output: %s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mix", "1:2"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad mix exit = %d, want 2", code)
+	}
+	if code := run([]string{"-workers", "0"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad workers exit = %d, want 2", code)
+	}
+	if code := run([]string{"-url", "http://127.0.0.1:1", "-ops", "1"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unreachable target exit = %d, want 1", code)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("20:60:20")
+	if err != nil || w != [nOps]int{20, 60, 20} {
+		t.Fatalf("parseMix = %v, %v", w, err)
+	}
+	for _, bad := range []string{"", "1:2", "a:b:c", "0:0:0", "-1:2:3"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}

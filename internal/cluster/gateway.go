@@ -1,0 +1,1030 @@
+package cluster
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/repo"
+	"repro/internal/server"
+)
+
+// Options tunes a Gateway.
+type Options struct {
+	// Replicas is the number of nodes holding each blob (primary +
+	// R-1 replicas); 0 selects 2. Values above the node count are
+	// clamped per lookup.
+	Replicas int
+	// VNodes is the virtual-node count per physical node on the hash
+	// ring; 0 selects DefaultVNodes.
+	VNodes int
+	// ProbeInterval / ProbeTimeout drive the registry health loop;
+	// 0 selects 2s / 1s.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// HopTimeout bounds every proxied call to a node; 0 selects 15s.
+	// Loads pay a decode on the node, so this is deliberately looser
+	// than the probe timeout.
+	HopTimeout time.Duration
+	// MaxBodyBytes bounds JSON request bodies at the gateway exactly
+	// like server.Options.MaxBodyBytes (0 = server default bound,
+	// negative = unbounded).
+	MaxBodyBytes int64
+	// HTTPClient is used for every node call (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// gwTask maps a gateway task id to the node-local task it proxies.
+// Node task-id spaces are independent, so the gateway keeps its own.
+type gwTask struct {
+	id     int64
+	node   string
+	remote int64
+	digest string
+}
+
+// Gateway fronts a fleet of vbsd nodes with the single-daemon
+// HTTP/JSON API: blob operations route by content address over the
+// consistent-hash ring with write-through replication and read
+// failover; fleet-wide endpoints scatter-gather and merge.
+type Gateway struct {
+	ring     *Ring
+	reg      *Registry
+	replicas int
+	hop      time.Duration
+	maxBody  int64
+	start    time.Time
+
+	mu        sync.Mutex
+	tasks     map[int64]*gwTask
+	nextID    int64
+	fabCounts map[string]int // node -> fabric pool size (static per node boot)
+
+	// repairs tracks in-flight asynchronous read-repairs so Stop can
+	// drain them (and tests can observe completion).
+	repairs sync.WaitGroup
+
+	proxied          atomic.Uint64
+	replicated       atomic.Uint64
+	replicationFails atomic.Uint64
+	failovers        atomic.Uint64
+	readRepairs      atomic.Uint64
+	scatterFallbacks atomic.Uint64
+	scatters         atomic.Uint64
+}
+
+// New builds a gateway over the given node base URLs. At least one
+// node is required. Call Start to launch health probing and Stop on
+// shutdown.
+func New(nodes []string, opts Options) (*Gateway, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node set")
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("cluster: replicas must be >= 1")
+	}
+	if opts.HopTimeout <= 0 {
+		opts.HopTimeout = 15 * time.Second
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = server.DefaultMaxBodyBytes
+	}
+	return &Gateway{
+		ring:      NewRing(nodes, opts.VNodes),
+		reg:       NewRegistry(nodes, opts.HTTPClient, opts.ProbeInterval, opts.ProbeTimeout),
+		replicas:  opts.Replicas,
+		hop:       opts.HopTimeout,
+		maxBody:   maxBody,
+		start:     time.Now(),
+		tasks:     make(map[int64]*gwTask),
+		fabCounts: make(map[string]int),
+	}, nil
+}
+
+// Ring exposes the routing ring (read-only).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Registry exposes the node health registry.
+func (g *Gateway) Registry() *Registry { return g.reg }
+
+// Start probes every node once (so the first request sees real
+// states) and launches the background probe loop.
+func (g *Gateway) Start(ctx context.Context) {
+	g.reg.ProbeAll(ctx)
+	g.reg.Start()
+}
+
+// Stop terminates the probe loop and drains in-flight read-repairs
+// (each bounded by the hop timeout).
+func (g *Gateway) Stop() {
+	g.reg.Stop()
+	g.repairs.Wait()
+}
+
+// Handler returns the gateway's HTTP routes — the same surface as a
+// single vbsd daemon.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tasks", g.handleLoad)
+	mux.HandleFunc("GET /tasks", g.handleListTasks)
+	mux.HandleFunc("DELETE /tasks/{id}", g.handleUnload)
+	mux.HandleFunc("POST /tasks/{id}/relocate", g.handleRelocate)
+	mux.HandleFunc("POST /fabrics/{i}/compact", g.handleCompact)
+	mux.HandleFunc("GET /fabrics", g.handleFabrics)
+	mux.HandleFunc("POST /vbs", g.handlePutVBS)
+	mux.HandleFunc("GET /vbs", g.handleListVBS)
+	mux.HandleFunc("GET /vbs/{digest}", g.handleGetVBS)
+	mux.HandleFunc("DELETE /vbs/{digest}", g.handleDeleteVBS)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeUpstream maps a node-call error onto the gateway reply: server
+// replies keep their status and message, transport failures become
+// 502.
+func writeUpstream(w http.ResponseWriter, err error) {
+	if code := server.StatusCode(err); code != 0 {
+		writeError(w, code, "%s", server.ErrorMessage(err))
+		return
+	}
+	writeError(w, http.StatusBadGateway, "cluster: %v", err)
+}
+
+func (g *Gateway) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return server.DecodeJSONBody(w, r, g.maxBody, v)
+}
+
+func (g *Gateway) hopCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), g.hop)
+}
+
+// owners returns the digest's replica set reordered by health: alive
+// nodes first, then suspect, then down — all in ring order within a
+// class, so two gateways still agree whenever their health views do.
+func (g *Gateway) owners(d repo.Digest) []string {
+	own := g.ring.Lookup(d, g.replicas)
+	out := make([]string, 0, len(own))
+	for _, class := range []State{Alive, Suspect, Down} {
+		for _, n := range own {
+			if g.reg.State(n) == class {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// othersByHealth returns every non-down node not in the given set, in
+// registry order — the scatter-fallback read path for blobs imported
+// out-of-band on a non-owner node.
+func (g *Gateway) othersByHealth(except []string) []string {
+	in := make(map[string]bool, len(except))
+	for _, n := range except {
+		in[n] = true
+	}
+	var out []string
+	for _, n := range g.reg.Names() {
+		if !in[n] && g.reg.Alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// nodeResult is one node's answer in a scatter.
+type nodeResult[T any] struct {
+	node string
+	val  T
+	err  error
+}
+
+// scatter fans f out to the given nodes concurrently and collects
+// every answer in node order. Transport failures demote the node in
+// the registry.
+func scatter[T any](ctx context.Context, g *Gateway, nodes []string,
+	f func(ctx context.Context, c *server.Client) (T, error)) []nodeResult[T] {
+	out := make([]nodeResult[T], len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, g.hop)
+			defer cancel()
+			val, err := f(cctx, g.reg.Client(n))
+			out[i] = nodeResult[T]{node: n, val: val, err: err}
+			g.observe(n, err)
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+// observe feeds a node-call outcome into the registry: any HTTP reply
+// (even 4xx) proves liveness, a transport failure demotes.
+func (g *Gateway) observe(node string, err error) {
+	switch {
+	case err == nil, server.StatusCode(err) != 0:
+		g.reg.ReportSuccess(node)
+	case errors.Is(err, context.Canceled):
+		// The caller went away; says nothing about the node.
+	default:
+		g.reg.ReportFailure(node, err)
+	}
+}
+
+// aliveNodes returns the non-down nodes in registry order.
+func (g *Gateway) aliveNodes() []string {
+	var out []string
+	for _, n := range g.reg.Names() {
+		if g.reg.Alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ── fabric topology ────────────────────────────────────────────────
+
+// nodeFabrics is one node's slice of the fleet-global fabric index
+// space: global index = Offset + local index.
+type nodeFabrics struct {
+	Node   string
+	Count  int
+	Offset int
+}
+
+// topology returns the global fabric index layout in registry order.
+// Pool sizes are fixed at node boot (vbsd -fabrics), so counts are
+// cached forever after the first fetch; a node that is down before it
+// was ever counted makes the layout unknowable and errors.
+func (g *Gateway) topology(ctx context.Context) ([]nodeFabrics, error) {
+	names := g.reg.Names()
+	var missing []string
+	g.mu.Lock()
+	for _, n := range names {
+		if _, ok := g.fabCounts[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	g.mu.Unlock()
+	if len(missing) > 0 {
+		res := scatter(ctx, g, missing, func(ctx context.Context, c *server.Client) ([]server.FabricInfo, error) {
+			return c.FabricsCtx(ctx)
+		})
+		g.mu.Lock()
+		for _, r := range res {
+			if r.err == nil {
+				g.fabCounts[r.node] = len(r.val)
+			}
+		}
+		g.mu.Unlock()
+	}
+	out := make([]nodeFabrics, 0, len(names))
+	offset := 0
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range names {
+		count, ok := g.fabCounts[n]
+		if !ok {
+			return nil, fmt.Errorf("cluster: fabric pool of node %s unknown (node unreachable before first contact)", n)
+		}
+		out = append(out, nodeFabrics{Node: n, Count: count, Offset: offset})
+		offset += count
+	}
+	return out, nil
+}
+
+// globalFabric maps a node-local fabric index to the fleet-global one
+// (-1 when the topology does not know the node).
+func globalFabric(topo []nodeFabrics, node string, local int) int {
+	for _, t := range topo {
+		if t.Node == node {
+			return t.Offset + local
+		}
+	}
+	return -1
+}
+
+// localFabric resolves a fleet-global fabric index to (node, local).
+func localFabric(topo []nodeFabrics, global int) (string, int, bool) {
+	for _, t := range topo {
+		if global >= t.Offset && global < t.Offset+t.Count {
+			return t.Node, global - t.Offset, true
+		}
+	}
+	return "", 0, false
+}
+
+// ── blob + task routing ────────────────────────────────────────────
+
+// replicate writes a container through to every owner except the one
+// that already holds it, in parallel. Failures are counted, not
+// fatal: a missed replica is healed by read-repair later.
+func (g *Gateway) replicate(ctx context.Context, data []byte, owners []string, holder string) {
+	var targets []string
+	for _, n := range owners {
+		if n != holder && g.reg.Alive(n) {
+			targets = append(targets, n)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	res := scatter(ctx, g, targets, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
+		return c.PutVBS(ctx, data)
+	})
+	for _, r := range res {
+		if r.err != nil {
+			g.replicationFails.Add(1)
+		} else {
+			g.replicated.Add(1)
+		}
+	}
+}
+
+func (g *Gateway) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req server.LoadRequest
+	if !g.decodeBody(w, r, &req) {
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.VBS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
+		return
+	}
+	digest := repo.DigestOf(data)
+	owners := g.ring.Lookup(digest, g.replicas)
+
+	// The load request targets the digest's owners in health order —
+	// unless the caller pinned a fleet-global fabric index, which
+	// names its node outright.
+	targets := g.owners(digest)
+	var topo []nodeFabrics
+	if req.Fabric != nil {
+		topo, err = g.topology(r.Context())
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		node, local, ok := localFabric(topo, *req.Fabric)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "fabric %d out of range", *req.Fabric)
+			return
+		}
+		req.Fabric = &local
+		targets = []string{node}
+	}
+
+	var placed server.LoadResponse
+	var onNode string
+	var lastErr error
+	for i, n := range targets {
+		ctx, cancel := g.hopCtx(r)
+		resp, err := g.reg.Client(n).LoadWithCtx(ctx, data, req)
+		cancel()
+		g.observe(n, err)
+		g.proxied.Add(1)
+		if err == nil {
+			placed, onNode = resp, n
+			if i > 0 {
+				g.failovers.Add(1)
+			}
+			break
+		}
+		lastErr = err
+		switch code := server.StatusCode(err); {
+		case code == http.StatusConflict, code >= 500:
+			// Capacity or internal failure on this node: another
+			// owner may still admit the task.
+			continue
+		case code != 0:
+			// A deliberate 4xx (bad body, bad policy, pinned slot
+			// conflict) would repeat identically everywhere. Node-side
+			// disk failures arrive as 5xx (store.ErrDisk) and fail
+			// over above.
+			writeUpstream(w, err)
+			return
+		default:
+			// Transport failure: fail over. A *timeout* here is
+			// ambiguous — the node may still complete the load after
+			// we give up, leaving an orphan task outside the gateway
+			// table (see ROADMAP "load reconciliation"); the node's
+			// own API can list and unload it.
+			continue
+		}
+	}
+	if onNode == "" {
+		if lastErr == nil {
+			writeError(w, http.StatusServiceUnavailable, "cluster: no node reachable for load")
+			return
+		}
+		writeUpstream(w, lastErr)
+		return
+	}
+
+	// Write-through replication: the blob must survive the loss of
+	// any replicas-1 nodes before the client hears "created".
+	g.replicate(r.Context(), data, owners, onNode)
+
+	g.mu.Lock()
+	id := g.nextID
+	g.nextID++
+	g.tasks[id] = &gwTask{id: id, node: onNode, remote: placed.ID, digest: placed.Digest}
+	g.mu.Unlock()
+
+	placed.ID = id
+	if topo == nil {
+		topo, _ = g.topology(r.Context())
+	}
+	if gi := globalFabric(topo, onNode, placed.Fabric); gi >= 0 {
+		placed.Fabric = gi
+	}
+	writeJSON(w, http.StatusCreated, placed)
+}
+
+// taskFromPath resolves {id} against the gateway task table.
+func (g *Gateway) taskFromPath(w http.ResponseWriter, r *http.Request) (*gwTask, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad task id %q", r.PathValue("id"))
+		return nil, false
+	}
+	g.mu.Lock()
+	t, ok := g.tasks[id]
+	g.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "task %d not loaded", id)
+		return nil, false
+	}
+	return t, true
+}
+
+func (g *Gateway) handleUnload(w http.ResponseWriter, r *http.Request) {
+	t, ok := g.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := g.hopCtx(r)
+	defer cancel()
+	err := g.reg.Client(t.node).UnloadCtx(ctx, t.remote)
+	g.observe(t.node, err)
+	g.proxied.Add(1)
+	if err != nil && server.StatusCode(err) != http.StatusNotFound {
+		// Transport failure or node-side error: keep the mapping, the
+		// task may still occupy its region.
+		writeUpstream(w, err)
+		return
+	}
+	g.mu.Lock()
+	delete(g.tasks, t.id)
+	g.mu.Unlock()
+	if err != nil {
+		// The node no longer knew the task (restart): the region is
+		// free either way, so the mapping had to go, but tell the
+		// caller the truth.
+		writeUpstream(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleRelocate(w http.ResponseWriter, r *http.Request) {
+	t, ok := g.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	var req server.RelocateRequest
+	if !g.decodeBody(w, r, &req) {
+		return
+	}
+	if req.X == nil || req.Y == nil {
+		writeError(w, http.StatusBadRequest, "x and y are required")
+		return
+	}
+	ctx, cancel := g.hopCtx(r)
+	defer cancel()
+	info, err := g.reg.Client(t.node).RelocateCtx(ctx, t.remote, *req.X, *req.Y)
+	g.observe(t.node, err)
+	g.proxied.Add(1)
+	if err != nil {
+		writeUpstream(w, err)
+		return
+	}
+	info.ID = t.id
+	info.Node = t.node
+	if topo, terr := g.topology(r.Context()); terr == nil {
+		if gi := globalFabric(topo, t.node, info.Fabric); gi >= 0 {
+			info.Fabric = gi
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleListTasks merges the gateway's task table with
+// scatter-gathered per-node listings: position and dimensions come
+// from the owning node when reachable. Tasks loaded directly on a
+// node (out of band) belong to that node's own API and are not
+// listed.
+func (g *Gateway) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	mine := make([]*gwTask, 0, len(g.tasks))
+	nodes := map[string]bool{}
+	for _, t := range g.tasks {
+		mine = append(mine, t)
+		nodes[t.node] = true
+	}
+	g.mu.Unlock()
+	sort.Slice(mine, func(a, b int) bool { return mine[a].id < mine[b].id })
+
+	var names []string
+	for _, n := range g.reg.Names() {
+		if nodes[n] && g.reg.Alive(n) {
+			names = append(names, n)
+		}
+	}
+	g.scatters.Add(1)
+	res := scatter(r.Context(), g, names, func(ctx context.Context, c *server.Client) ([]server.TaskInfo, error) {
+		return c.TasksCtx(ctx)
+	})
+	remote := make(map[string]map[int64]server.TaskInfo, len(res))
+	for _, nr := range res {
+		if nr.err != nil {
+			continue
+		}
+		m := make(map[int64]server.TaskInfo, len(nr.val))
+		for _, ti := range nr.val {
+			m[ti.ID] = ti
+		}
+		remote[nr.node] = m
+	}
+	topo, _ := g.topology(r.Context())
+
+	out := make([]server.TaskInfo, 0, len(mine))
+	for _, t := range mine {
+		info := server.TaskInfo{ID: t.id, Digest: t.digest, Node: t.node, Fabric: -1}
+		if ti, ok := remote[t.node][t.remote]; ok {
+			info.X, info.Y = ti.X, ti.Y
+			info.TaskW, info.TaskH = ti.TaskW, ti.TaskH
+			info.Fabric = ti.Fabric
+			if gi := globalFabric(topo, t.node, ti.Fabric); gi >= 0 {
+				info.Fabric = gi
+			}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleCompact(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "fabric %q not in pool", r.PathValue("i"))
+		return
+	}
+	topo, terr := g.topology(r.Context())
+	if terr != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", terr)
+		return
+	}
+	node, local, ok := localFabric(topo, i)
+	if !ok {
+		writeError(w, http.StatusNotFound, "fabric %d not in pool", i)
+		return
+	}
+	ctx, cancel := g.hopCtx(r)
+	defer cancel()
+	res, err := g.reg.Client(node).CompactCtx(ctx, local)
+	g.observe(node, err)
+	g.proxied.Add(1)
+	if err != nil {
+		writeUpstream(w, err)
+		return
+	}
+	res.Fabric = i
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleFabrics(w http.ResponseWriter, r *http.Request) {
+	topo, err := g.topology(r.Context())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	g.scatters.Add(1)
+	res := scatter(r.Context(), g, g.aliveNodes(), func(ctx context.Context, c *server.Client) ([]server.FabricInfo, error) {
+		return c.FabricsCtx(ctx)
+	})
+	byNode := map[string][]server.FabricInfo{}
+	for _, nr := range res {
+		if nr.err == nil {
+			byNode[nr.node] = nr.val
+		}
+	}
+	out := make([]server.FabricInfo, 0)
+	for _, t := range topo {
+		for _, fi := range byNode[t.Node] {
+			fi.Index += t.Offset
+			fi.Node = t.Node
+			out = append(out, fi)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePutVBS admits a blob through the gateway: it is written to
+// every owner of its digest, so a subsequent load finds it already
+// replicated.
+func (g *Gateway) handlePutVBS(w http.ResponseWriter, r *http.Request) {
+	var req server.PutVBSRequest
+	if !g.decodeBody(w, r, &req) {
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.VBS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
+		return
+	}
+	owners := g.owners(repo.DigestOf(data))
+	g.proxied.Add(1)
+	res := scatter(r.Context(), g, owners, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
+		return c.PutVBS(ctx, data)
+	})
+	var firstOK *server.PutVBSResponse
+	var lastErr error
+	for i := range res {
+		if res[i].err != nil {
+			lastErr = res[i].err
+			continue
+		}
+		if firstOK == nil {
+			firstOK = &res[i].val
+		}
+	}
+	if firstOK == nil {
+		writeUpstream(w, lastErr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, *firstOK)
+}
+
+// handleListVBS merges every node's blob listing: one row per digest,
+// task references summed, Replicas counting the nodes holding it.
+func (g *Gateway) handleListVBS(w http.ResponseWriter, r *http.Request) {
+	g.scatters.Add(1)
+	res := scatter(r.Context(), g, g.aliveNodes(), func(ctx context.Context, c *server.Client) ([]server.VBSInfo, error) {
+		return c.ListVBSCtx(ctx)
+	})
+	merged := map[string]*server.VBSInfo{}
+	for _, nr := range res {
+		if nr.err != nil {
+			continue
+		}
+		for _, b := range nr.val {
+			m, ok := merged[b.Digest]
+			if !ok {
+				info := b
+				info.Replicas = 1
+				merged[b.Digest] = &info
+				continue
+			}
+			m.Tasks += b.Tasks
+			m.RAM = m.RAM || b.RAM
+			m.Disk = m.Disk || b.Disk
+			m.Replicas++
+		}
+	}
+	out := make([]server.VBSInfo, 0, len(merged))
+	for _, b := range merged {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Digest < out[b].Digest })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// fetchVerified downloads a blob from one node and re-checks its
+// content address — a gateway must never relay bytes that do not
+// hash to the digest it serves them under.
+func (g *Gateway) fetchVerified(ctx context.Context, node string, d repo.Digest) ([]byte, error) {
+	cctx, cancel := context.WithTimeout(ctx, g.hop)
+	defer cancel()
+	data, err := g.reg.Client(node).GetVBSCtx(cctx, d.String())
+	g.observe(node, err)
+	if err != nil {
+		return nil, err
+	}
+	if repo.DigestOf(data) != d {
+		return nil, fmt.Errorf("cluster: node %s served corrupt bytes for %s", node, d.Short())
+	}
+	return data, nil
+}
+
+func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
+	d, err := repo.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	owners := g.owners(d)
+	primary := g.ring.Owner(d)
+	g.proxied.Add(1)
+
+	serve := func(data []byte, from string) {
+		// Read-repair: a hit anywhere but the primary means some
+		// owner is missing the blob (replica loss, out-of-band
+		// import). Heal the set off the reply path — a degraded read
+		// must not pay a full-blob replication fan-out in latency.
+		// The repair gets its own context: the request's dies with
+		// this handler (each replicate call is hop-bounded).
+		if from != primary {
+			g.readRepairs.Add(1)
+			g.repairs.Add(1)
+			go func() {
+				defer g.repairs.Done()
+				g.replicate(context.Background(), data, g.ring.Lookup(d, g.replicas), from)
+			}()
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+	}
+
+	var lastErr error
+	for i, n := range owners {
+		data, err := g.fetchVerified(r.Context(), n, d)
+		if err == nil {
+			if i > 0 || n != primary {
+				g.failovers.Add(1)
+			}
+			serve(data, n)
+			return
+		}
+		if server.StatusCode(err) != http.StatusNotFound {
+			lastErr = err
+		}
+	}
+	// Every owner missed: the blob may live on a non-owner (imported
+	// directly into a node's repository). Scatter before giving up.
+	others := g.othersByHealth(owners)
+	if len(others) > 0 {
+		g.scatterFallbacks.Add(1)
+		res := scatter(r.Context(), g, others, func(ctx context.Context, c *server.Client) ([]byte, error) {
+			data, err := c.GetVBSCtx(ctx, d.String())
+			if err == nil && repo.DigestOf(data) != d {
+				return nil, fmt.Errorf("cluster: corrupt bytes for %s", d.Short())
+			}
+			return data, err
+		})
+		for _, nr := range res {
+			if nr.err == nil {
+				serve(nr.val, nr.node)
+				return
+			}
+		}
+	}
+	if lastErr != nil {
+		writeUpstream(w, lastErr)
+		return
+	}
+	writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
+}
+
+// handleDeleteVBS drops a blob from every reachable node. The
+// destructive fan-out is guarded by a fleet-wide reference check
+// first: a parallel delete must not strip unreferenced replicas off
+// nodes while the owner is about to veto with 409, or a "failed"
+// delete would silently lower the blob's replication factor. The
+// check-then-delete window is racy across nodes (unlike the
+// single-daemon delete, which holds one lock); each node still
+// re-checks its own references under its lock, so the race only
+// re-opens the partial-delete case, never an unsafe one.
+func (g *Gateway) handleDeleteVBS(w http.ResponseWriter, r *http.Request) {
+	d, err := repo.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g.proxied.Add(1)
+	digest := d.String()
+	g.mu.Lock()
+	refs := 0
+	for _, t := range g.tasks {
+		if t.digest == digest {
+			refs++
+		}
+	}
+	g.mu.Unlock()
+	if refs == 0 {
+		// Tasks loaded out of band reference blobs too: ask the fleet.
+		res := scatter(r.Context(), g, g.aliveNodes(), func(ctx context.Context, c *server.Client) ([]server.VBSInfo, error) {
+			return c.ListVBSCtx(ctx)
+		})
+		for _, nr := range res {
+			if nr.err != nil {
+				continue
+			}
+			for _, b := range nr.val {
+				if b.Digest == digest {
+					refs += b.Tasks
+				}
+			}
+		}
+	}
+	if refs > 0 {
+		writeError(w, http.StatusConflict, "vbs %s referenced by %d live task(s)", d.Short(), refs)
+		return
+	}
+	res := scatter(r.Context(), g, g.aliveNodes(), func(ctx context.Context, c *server.Client) (struct{}, error) {
+		return struct{}{}, c.DeleteVBSCtx(ctx, d.String())
+	})
+	deleted := 0
+	var lastErr error
+	for _, nr := range res {
+		switch code := server.StatusCode(nr.err); {
+		case nr.err == nil:
+			deleted++
+		case code == http.StatusConflict:
+			writeUpstream(w, nr.err)
+			return
+		case code == http.StatusNotFound:
+			// Nothing to delete on this node.
+		default:
+			lastErr = nr.err
+		}
+	}
+	switch {
+	case deleted > 0:
+		w.WriteHeader(http.StatusNoContent)
+	case lastErr != nil:
+		writeUpstream(w, lastErr)
+	default:
+		writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	alive := len(g.aliveNodes())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"nodes":  g.ring.Len(),
+		"alive":  alive,
+	})
+}
+
+// ── stats ──────────────────────────────────────────────────────────
+
+// NodeStats is one node's occupancy inside the cluster stats block.
+type NodeStats struct {
+	NodeInfo
+	// Reachable reports whether the stats scatter got an answer.
+	Reachable bool `json:"reachable"`
+	// Tasks / FreeMacros / StoreEntries / RepoBlobs summarize the
+	// node's occupancy (zero when unreachable).
+	Tasks        int    `json:"tasks"`
+	FreeMacros   int    `json:"free_macros"`
+	StoreEntries int    `json:"store_entries"`
+	RepoBlobs    int    `json:"repo_blobs"`
+	Loads        uint64 `json:"loads"`
+}
+
+// ClusterStats is the `cluster` block the gateway adds to /stats.
+type ClusterStats struct {
+	Nodes []NodeStats `json:"nodes"`
+	// RingVersion identifies the membership: gateways with equal
+	// versions route identically.
+	RingVersion string `json:"ring_version"`
+	Replicas    int    `json:"replicas"`
+	// GatewayTasks counts tasks loaded through this gateway.
+	GatewayTasks int `json:"gateway_tasks"`
+	// Traffic counters.
+	Proxied           uint64 `json:"proxied"`
+	Replicated        uint64 `json:"replicated"`
+	ReplicationFailed uint64 `json:"replication_failed"`
+	Failovers         uint64 `json:"failovers"`
+	ReadRepairs       uint64 `json:"read_repairs"`
+	ScatterFallbacks  uint64 `json:"scatter_fallbacks"`
+	Scatters          uint64 `json:"scatters"`
+}
+
+// StatsResponse is the gateway's GET /stats body: the single-daemon
+// fields summed over the fleet, plus the cluster block. A plain
+// server.Client decodes the embedded part untouched.
+type StatsResponse struct {
+	server.StatsResponse
+	Cluster ClusterStats `json:"cluster"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	g.scatters.Add(1)
+	res := scatter(r.Context(), g, g.aliveNodes(), func(ctx context.Context, c *server.Client) (server.StatsResponse, error) {
+		return c.StatsCtx(ctx)
+	})
+	byNode := map[string]*server.StatsResponse{}
+	for i := range res {
+		if res[i].err == nil {
+			byNode[res[i].node] = &res[i].val
+		}
+	}
+	topo, _ := g.topology(r.Context())
+
+	var out StatsResponse
+	out.UptimeSeconds = time.Since(g.start).Seconds()
+	var meanNumer float64
+	for _, info := range g.reg.Snapshot() {
+		ns := NodeStats{NodeInfo: info}
+		if st, ok := byNode[info.Name]; ok {
+			ns.Reachable = true
+			ns.Tasks = st.Tasks
+			ns.StoreEntries = st.Store.Entries
+			ns.RepoBlobs = st.Repo.Blobs
+			ns.Loads = st.Loads
+			for _, f := range st.Fabrics {
+				ns.FreeMacros += f.FreeMacros
+				f.Node = info.Name
+				if gi := globalFabric(topo, info.Name, f.Index); gi >= 0 {
+					f.Index = gi
+				}
+				out.Fabrics = append(out.Fabrics, f)
+			}
+			out.Tasks += st.Tasks
+			out.Loads += st.Loads
+			out.Unloads += st.Unloads
+			out.Relocations += st.Relocations
+			out.Decodes += st.Decodes
+			out.LoadLatency.Count += st.LoadLatency.Count
+			meanNumer += st.LoadLatency.MeanMS * float64(st.LoadLatency.Count)
+			if st.LoadLatency.MaxMS > out.LoadLatency.MaxMS {
+				out.LoadLatency.MaxMS = st.LoadLatency.MaxMS
+			}
+			if out.Placement.Policy == "" {
+				out.Placement.Policy = st.Placement.Policy
+			}
+			out.Placement.Compactions += st.Placement.Compactions
+			out.Placement.TasksMoved += st.Placement.TasksMoved
+			out.Placement.RetrySuccesses += st.Placement.RetrySuccesses
+			out.Cache.Hits += st.Cache.Hits
+			out.Cache.Misses += st.Cache.Misses
+			out.Cache.Evictions += st.Cache.Evictions
+			out.Cache.Entries += st.Cache.Entries
+			out.Cache.UsedBits += st.Cache.UsedBits
+			out.Cache.CapBits += st.Cache.CapBits
+			out.Store.Entries += st.Store.Entries
+			out.Store.Bytes += st.Store.Bytes
+			out.Repo.Enabled = out.Repo.Enabled || st.Repo.Enabled
+			out.Repo.Blobs += st.Repo.Blobs
+			out.Repo.Bytes += st.Repo.Bytes
+			out.Repo.Demotions += st.Repo.Demotions
+			out.Repo.Promotions += st.Repo.Promotions
+			out.Repo.Recovered += st.Repo.Recovered
+			out.Repo.Quarantined += st.Repo.Quarantined
+			out.Repo.Reads += st.Repo.Reads
+			out.Repo.Writes += st.Repo.Writes
+		}
+		out.Cluster.Nodes = append(out.Cluster.Nodes, ns)
+	}
+	if out.LoadLatency.Count > 0 {
+		out.LoadLatency.MeanMS = meanNumer / float64(out.LoadLatency.Count)
+	}
+	g.mu.Lock()
+	out.Cluster.GatewayTasks = len(g.tasks)
+	g.mu.Unlock()
+	out.Cluster.RingVersion = ringVersionString(g.ring)
+	out.Cluster.Replicas = g.replicas
+	out.Cluster.Proxied = g.proxied.Load()
+	out.Cluster.Replicated = g.replicated.Load()
+	out.Cluster.ReplicationFailed = g.replicationFails.Load()
+	out.Cluster.Failovers = g.failovers.Load()
+	out.Cluster.ReadRepairs = g.readRepairs.Load()
+	out.Cluster.ScatterFallbacks = g.scatterFallbacks.Load()
+	out.Cluster.Scatters = g.scatters.Load()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ringVersionString renders the ring version as fixed-width hex.
+func ringVersionString(r *Ring) string {
+	return fmt.Sprintf("%016x", r.Version())
+}

@@ -1,0 +1,378 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/repo"
+	"repro/internal/server"
+)
+
+// TestGatewayLoadReplicatesAndServesThroughFailover is the acceptance
+// scenario: tasks loaded through the gateway with -replicas 2 land on
+// two nodes, and after killing any single node every digest is still
+// retrievable byte-identical through the gateway — with the
+// *unchanged* server.Client.
+func TestGatewayLoadReplicatesAndServesThroughFailover(t *testing.T) {
+	cl, gw, nodes := newCluster(t, 3, 1, cluster.Options{Replicas: 2})
+
+	containers := map[string][]byte{}
+	for seed := int64(1); seed <= 4; seed++ {
+		data := makeVBS(t, seed, 6)
+		res, err := cl.Load(data, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("load seed %d: %v", seed, err)
+		}
+		if res.Digest == "" {
+			t.Fatalf("load seed %d returned no digest", seed)
+		}
+		containers[res.Digest] = data
+	}
+
+	// Write-through replication: every digest on exactly 2 nodes.
+	for digest := range containers {
+		if holders := nodesHolding(t, nodes, digest); len(holders) != 2 {
+			t.Fatalf("digest %s on %d node(s) %v, want 2", digest[:12], len(holders), holders)
+		}
+	}
+
+	// Byte-identical serving before any failure.
+	for digest, want := range containers {
+		got, err := cl.GetVBS(digest)
+		if err != nil {
+			t.Fatalf("get %s: %v", digest[:12], err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("digest %s served differently", digest[:12])
+		}
+	}
+
+	// Kill one node; every digest must still serve byte-identical.
+	nodes[1].kill()
+	for digest, want := range containers {
+		got, err := cl.GetVBS(digest)
+		if err != nil {
+			t.Fatalf("get %s after kill: %v", digest[:12], err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("digest %s served differently after kill", digest[:12])
+		}
+	}
+
+	// The cluster stats block reflects the topology and traffic.
+	var st cluster.StatsResponse
+	raw, err := getJSON(cl, "/stats", &st)
+	if err != nil {
+		t.Fatalf("stats: %v (%s)", err, raw)
+	}
+	if len(st.Cluster.Nodes) != 3 {
+		t.Fatalf("cluster stats list %d nodes", len(st.Cluster.Nodes))
+	}
+	if st.Cluster.Replicas != 2 || st.Cluster.RingVersion == "" {
+		t.Errorf("cluster block = %+v", st.Cluster)
+	}
+	if st.Cluster.Proxied == 0 || st.Cluster.Replicated == 0 {
+		t.Errorf("counters not advancing: %+v", st.Cluster)
+	}
+
+	// A digest that was primaried on the killed node requires at
+	// least one failover by now; loads on live nodes must keep
+	// working too.
+	if _, err := cl.Load(makeVBS(t, 9, 6), nil, nil, nil); err != nil {
+		t.Fatalf("load after kill: %v", err)
+	}
+	_ = gw
+}
+
+// getJSON fetches a gateway endpoint into out directly (the plain
+// client API cannot see cluster-only fields).
+func getJSON(cl *server.Client, path string, out any) (string, error) {
+	resp, err := http.Get(cl.Base() + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), json.Unmarshal(raw, out)
+}
+
+// TestGatewayTaskLifecycle: list/relocate/unload proxy to the owning
+// node and present fleet-global identifiers.
+func TestGatewayTaskLifecycle(t *testing.T) {
+	cl, _, nodes := newCluster(t, 3, 2, cluster.Options{Replicas: 2})
+
+	data := makeVBS(t, 11, 6)
+	res, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].ID != res.ID {
+		t.Fatalf("tasks = %+v", tasks)
+	}
+	if tasks[0].Node == "" {
+		t.Error("merged task listing missing node name")
+	}
+	if tasks[0].Fabric != res.Fabric {
+		t.Errorf("listing fabric %d, load reported %d", tasks[0].Fabric, res.Fabric)
+	}
+
+	moved, err := cl.Relocate(res.ID, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.X != 8 || moved.Y != 8 || moved.ID != res.ID {
+		t.Errorf("relocated = %+v", moved)
+	}
+
+	// The merged fabric listing covers the whole fleet with distinct
+	// global indices and node attribution.
+	fabrics, err := cl.Fabrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fabrics) != 6 {
+		t.Fatalf("merged fabric listing has %d entries, want 6", len(fabrics))
+	}
+	seen := map[int]bool{}
+	for _, f := range fabrics {
+		if seen[f.Index] {
+			t.Fatalf("duplicate global fabric index %d", f.Index)
+		}
+		seen[f.Index] = true
+		if f.Node == "" {
+			t.Fatal("fabric listing missing node attribution")
+		}
+	}
+
+	// Compaction routes by global index.
+	if _, err := cl.Compact(fabrics[len(fabrics)-1].Index); err != nil {
+		t.Fatalf("compact global fabric: %v", err)
+	}
+
+	if err := cl.Unload(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unload(res.ID); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("double unload error = %v", err)
+	}
+	for _, n := range nodes {
+		remote, err := n.client.Tasks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(remote) != 0 {
+			t.Fatalf("node %s still holds %d task(s) after gateway unload", n.url, len(remote))
+		}
+	}
+}
+
+// TestGatewayPinnedFabric: pinning a fleet-global fabric index routes
+// the load to that fabric's node.
+func TestGatewayPinnedFabric(t *testing.T) {
+	cl, _, nodes := newCluster(t, 3, 1, cluster.Options{Replicas: 1})
+
+	// Global index 2 is node 2's only fabric (registry order).
+	pin := 2
+	res, err := cl.Load(makeVBS(t, 21, 6), &pin, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fabric != pin {
+		t.Errorf("pinned load reported fabric %d, want %d", res.Fabric, pin)
+	}
+	remote, err := nodes[2].client.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != 1 {
+		t.Fatalf("pinned node holds %d task(s), want 1", len(remote))
+	}
+
+	if _, err := cl.Load(makeVBS(t, 21, 6), &[]int{99}[0], nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Errorf("out-of-range global fabric error = %v", err)
+	}
+}
+
+// TestGatewayReadRepair: a blob living only on a non-owner node (an
+// out-of-band import) is found by the scatter fallback and healed
+// onto its ring owners.
+func TestGatewayReadRepair(t *testing.T) {
+	cl, gw, nodes := newCluster(t, 3, 1, cluster.Options{Replicas: 2})
+
+	data := makeVBS(t, 31, 6)
+	d := repo.DigestOf(data)
+	owners := gw.Ring().Lookup(d, 2)
+
+	// Pick a node outside the replica set and seed the blob there.
+	var outsider *testNode
+	for _, n := range nodes {
+		if n.url != owners[0] && n.url != owners[1] {
+			outsider = n
+			break
+		}
+	}
+	if outsider == nil {
+		t.Fatal("no node outside a 2-of-3 replica set?")
+	}
+	if _, err := outsider.client.PutVBS(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := cl.GetVBS(d.String())
+	if err != nil {
+		t.Fatalf("get via scatter fallback: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("scatter fallback served different bytes")
+	}
+
+	// Read-repair runs off the reply path; poll until it lands on
+	// the owners.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		holdSet := map[string]bool{}
+		for _, h := range nodesHolding(t, nodes, d.String()) {
+			holdSet[h] = true
+		}
+		healed := true
+		for _, o := range owners {
+			healed = healed && holdSet[o]
+		}
+		if healed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("owners %v not healed by read-repair (holders %v)",
+				owners, nodesHolding(t, nodes, d.String()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var st cluster.StatsResponse
+	if _, err := getJSON(cl, "/stats", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster.ScatterFallbacks == 0 || st.Cluster.ReadRepairs == 0 {
+		t.Errorf("repair counters = %+v", st.Cluster)
+	}
+}
+
+// TestGatewayListVBSMergesReplicas: the merged blob listing reports
+// one row per digest with a replica count.
+func TestGatewayListVBSMergesReplicas(t *testing.T) {
+	cl, _, _ := newCluster(t, 3, 1, cluster.Options{Replicas: 2})
+
+	data := makeVBS(t, 41, 6)
+	res, err := cl.Load(data, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading the identical container again deduplicates fleet-wide.
+	if _, err := cl.Load(data, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	blobs, err := cl.ListVBS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 {
+		t.Fatalf("merged listing has %d rows, want 1", len(blobs))
+	}
+	if blobs[0].Digest != res.Digest || blobs[0].Replicas != 2 || blobs[0].Tasks != 2 {
+		t.Errorf("merged blob = %+v", blobs[0])
+	}
+
+	// Deleting while referenced is vetoed — and the veto must not
+	// cost replicas: a parallel fan-out would delete the copy on the
+	// task-free replica node before the owner's 409 lands, silently
+	// degrading the blob to a single copy (caught driving vbsgw by
+	// hand: the next node kill then 502'd a digest that "failed" to
+	// delete).
+	if err := cl.DeleteVBS(res.Digest); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("delete while referenced = %v, want 409", err)
+	}
+	blobs, err = cl.ListVBS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 1 || blobs[0].Replicas != 2 {
+		t.Fatalf("vetoed delete changed the listing: %+v", blobs)
+	}
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if err := cl.Unload(task.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.DeleteVBS(res.Digest); err != nil {
+		t.Fatalf("delete after unload: %v", err)
+	}
+	if _, err := cl.GetVBS(res.Digest); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("get after delete = %v, want 404", err)
+	}
+}
+
+// TestGatewayConcurrentLoads exercises the routing and replication
+// paths under the race detector.
+func TestGatewayConcurrentLoads(t *testing.T) {
+	cl, _, _ := newCluster(t, 3, 2, cluster.Options{Replicas: 2})
+
+	const goroutines = 8
+	containers := make([][]byte, goroutines)
+	for i := range containers {
+		containers[i] = makeVBS(t, int64(100+i%4), 5)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := cl.Load(containers[i], nil, nil, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := cl.GetVBS(res.Digest); err != nil {
+				errs <- err
+				return
+			}
+			if err := cl.Unload(res.ID); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Errorf("%d task(s) left after concurrent load/unload", len(tasks))
+	}
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// State is a node's health as seen by the registry probe loop.
+type State int
+
+const (
+	// Alive: the last probe (or request) succeeded.
+	Alive State = iota
+	// Suspect: one probe failed; the node still receives traffic last
+	// (reads prefer alive replicas) but is not yet written off.
+	Suspect
+	// Down: probeDownAfter consecutive probes failed; the node is
+	// skipped until a probe succeeds again.
+	Down
+)
+
+// String returns the lowercase state name served in /stats.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// probeDownAfter is the consecutive-failure count that demotes a node
+// to Down (the first failure makes it Suspect).
+const probeDownAfter = 2
+
+// node is one registry entry.
+type node struct {
+	name   string
+	client *server.Client
+
+	mu        sync.Mutex
+	state     State
+	fails     int
+	lastProbe time.Time
+	lastErr   string
+}
+
+// NodeInfo is a point-in-time snapshot of one node for the cluster
+// stats block.
+type NodeInfo struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// LastProbeMS is milliseconds since the node was last probed
+	// (-1 before the first probe).
+	LastProbeMS int64 `json:"last_probe_ms"`
+	// LastError is the most recent probe/request failure ("" when the
+	// node has never failed or has recovered).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Registry tracks the health of a fixed node set by probing /healthz
+// and by demotions reported from the request path (ReportFailure). It
+// owns one server.Client per node; the gateway routes through those.
+type Registry struct {
+	nodes  []*node          // in configured order
+	byName map[string]*node // name -> entry
+	probe  time.Duration    // probe interval
+	tmo    time.Duration    // per-probe timeout
+
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   bool // set under startOnce, read by Stop after stopOnce
+}
+
+// NewRegistry builds a registry over node base URLs in the given
+// order (the order defines fleet-global fabric indexing). hc may be
+// nil for http.DefaultClient. interval/timeout <= 0 select 2s/1s.
+func NewRegistry(names []string, hc *http.Client, interval, timeout time.Duration) *Registry {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	r := &Registry{
+		byName: make(map[string]*node, len(names)),
+		probe:  interval,
+		tmo:    timeout,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, n := range names {
+		if _, dup := r.byName[n]; dup {
+			continue
+		}
+		e := &node{name: n, client: server.NewClient(n, hc)}
+		r.nodes = append(r.nodes, e)
+		r.byName[n] = e
+	}
+	return r
+}
+
+// Names returns the node names in configured order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// Client returns the client for a node (nil for unknown names).
+func (r *Registry) Client(name string) *server.Client {
+	if n, ok := r.byName[name]; ok {
+		return n.client
+	}
+	return nil
+}
+
+// State returns a node's current health (Down for unknown names).
+func (r *Registry) State(name string) State {
+	n, ok := r.byName[name]
+	if !ok {
+		return Down
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// Alive reports whether the node is not Down. Suspect nodes count as
+// alive: one failed probe must not eject a node that is merely slow,
+// it only deprioritizes it (see Gateway ordering).
+func (r *Registry) Alive(name string) bool { return r.State(name) != Down }
+
+// ReportFailure records a transport-level request failure observed by
+// the gateway, demoting the node exactly like a failed probe so
+// failover does not wait for the next probe tick.
+func (r *Registry) ReportFailure(name string, err error) {
+	if n, ok := r.byName[name]; ok {
+		n.fail(err)
+	}
+}
+
+// ReportSuccess marks a node alive from the request path (any
+// successful HTTP exchange proves liveness, including 4xx replies).
+func (r *Registry) ReportSuccess(name string) {
+	if n, ok := r.byName[name]; ok {
+		n.ok(false)
+	}
+}
+
+func (n *node) ok(probed bool) {
+	n.mu.Lock()
+	n.state = Alive
+	n.fails = 0
+	n.lastErr = ""
+	if probed {
+		n.lastProbe = time.Now()
+	}
+	n.mu.Unlock()
+}
+
+func (n *node) fail(err error) {
+	n.mu.Lock()
+	n.fails++
+	if n.fails >= probeDownAfter {
+		n.state = Down
+	} else {
+		n.state = Suspect
+	}
+	if err != nil {
+		n.lastErr = err.Error()
+	}
+	n.mu.Unlock()
+}
+
+// ProbeAll probes every node once, synchronously (all nodes in
+// parallel, bounded by the probe timeout). The gateway calls it at
+// startup so the first request already sees real states; the probe
+// loop calls it every interval.
+func (r *Registry) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, r.tmo)
+			defer cancel()
+			err := n.client.Health(pctx)
+			n.mu.Lock()
+			n.lastProbe = time.Now()
+			n.mu.Unlock()
+			if err != nil {
+				n.fail(err)
+				return
+			}
+			n.ok(true)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// Start launches the background probe loop (idempotent). Stop ends
+// it.
+func (r *Registry) Start() {
+	r.startOnce.Do(func() {
+		r.started = true
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(r.probe)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+					r.ProbeAll(context.Background())
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the probe loop and waits for it to exit. Safe to
+// call more than once, and without a prior Start.
+func (r *Registry) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.started {
+		<-r.done
+	}
+}
+
+// Snapshot returns per-node health for the cluster stats block, in
+// configured order.
+func (r *Registry) Snapshot() []NodeInfo {
+	out := make([]NodeInfo, len(r.nodes))
+	for i, n := range r.nodes {
+		n.mu.Lock()
+		info := NodeInfo{Name: n.name, State: n.state.String(), LastProbeMS: -1, LastError: n.lastErr}
+		if !n.lastProbe.IsZero() {
+			info.LastProbeMS = time.Since(n.lastProbe).Milliseconds()
+		}
+		n.mu.Unlock()
+		out[i] = info
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// TestRegistryStateMachine drives a node through
+// alive → suspect → down → alive using synchronous probe sweeps
+// against a real daemon that we kill and replace.
+func TestRegistryStateMachine(t *testing.T) {
+	n := newNode(t, 1, server.Options{})
+	reg := cluster.NewRegistry([]string{n.url}, nil, time.Hour, time.Second)
+
+	ctx := t.Context()
+	reg.ProbeAll(ctx)
+	if got := reg.State(n.url); got != cluster.Alive {
+		t.Fatalf("state after healthy probe = %v", got)
+	}
+
+	n.kill()
+	reg.ProbeAll(ctx)
+	if got := reg.State(n.url); got != cluster.Suspect {
+		t.Fatalf("state after one failed probe = %v, want suspect", got)
+	}
+	if !reg.Alive(n.url) {
+		t.Fatal("suspect node reported not alive: one failure must not eject")
+	}
+	reg.ProbeAll(ctx)
+	if got := reg.State(n.url); got != cluster.Down {
+		t.Fatalf("state after two failed probes = %v, want down", got)
+	}
+	if reg.Alive(n.url) {
+		t.Fatal("down node reported alive")
+	}
+
+	snap := reg.Snapshot()
+	if len(snap) != 1 || snap[0].State != "down" || snap[0].LastError == "" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestRegistryRequestPathDemotion: failures observed on the request
+// path demote without waiting for a probe tick, and any successful
+// exchange revives.
+func TestRegistryRequestPathDemotion(t *testing.T) {
+	n := newNode(t, 1, server.Options{})
+	reg := cluster.NewRegistry([]string{n.url}, nil, time.Hour, time.Second)
+	reg.ProbeAll(t.Context())
+
+	err := errors.New("connection refused")
+	reg.ReportFailure(n.url, err)
+	if got := reg.State(n.url); got != cluster.Suspect {
+		t.Fatalf("state after reported failure = %v", got)
+	}
+	reg.ReportFailure(n.url, err)
+	if got := reg.State(n.url); got != cluster.Down {
+		t.Fatalf("state after second reported failure = %v", got)
+	}
+	reg.ReportSuccess(n.url)
+	if got := reg.State(n.url); got != cluster.Alive {
+		t.Fatalf("state after reported success = %v", got)
+	}
+
+	if got := reg.State("http://unknown:1"); got != cluster.Down {
+		t.Fatalf("unknown node state = %v, want down", got)
+	}
+}
+
+// TestRegistryProbeLoop: the background loop flips a killed node to
+// down without any request traffic.
+func TestRegistryProbeLoop(t *testing.T) {
+	n := newNode(t, 1, server.Options{})
+	reg := cluster.NewRegistry([]string{n.url}, nil, 20*time.Millisecond, time.Second)
+	reg.ProbeAll(t.Context())
+	reg.Start()
+	defer reg.Stop()
+
+	n.kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.State(n.url) != cluster.Down {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never demoted the killed node")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,171 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/repo"
+)
+
+// sampleDigests returns n pseudo-random content addresses from a
+// fixed seed.
+func sampleDigests(n int) []repo.Digest {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]repo.Digest, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8931", i)
+	}
+	return out
+}
+
+// TestRingDeterminism: routing must be a pure function of the
+// membership — independent of input order, and reproducible across
+// ring rebuilds (i.e. process restarts).
+func TestRingDeterminism(t *testing.T) {
+	names := nodeNames(7)
+	shuffled := append([]string(nil), names...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	a := cluster.NewRing(names, 0)
+	b := cluster.NewRing(shuffled, 0)
+	if a.Version() != b.Version() {
+		t.Fatalf("versions differ across input order: %x vs %x", a.Version(), b.Version())
+	}
+	for _, d := range sampleDigests(500) {
+		ra, rb := a.Lookup(d, 3), b.Lookup(d, 3)
+		if len(ra) != len(rb) {
+			t.Fatalf("replica set sizes differ for %s", d.Short())
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("replica %d differs for %s: %s vs %s", i, d.Short(), ra[i], rb[i])
+			}
+		}
+	}
+
+	// Duplicated names must not skew ownership.
+	c := cluster.NewRing(append(append([]string(nil), names...), names[0], names[3]), 0)
+	if c.Version() != a.Version() {
+		t.Error("duplicate node names changed the ring version")
+	}
+}
+
+// TestRingReplicaSets: replica sets never contain duplicates and are
+// clamped to the node count.
+func TestRingReplicaSets(t *testing.T) {
+	r := cluster.NewRing(nodeNames(5), 0)
+	for _, d := range sampleDigests(1000) {
+		set := r.Lookup(d, 3)
+		if len(set) != 3 {
+			t.Fatalf("replica set size %d, want 3", len(set))
+		}
+		seen := map[string]bool{}
+		for _, n := range set {
+			if seen[n] {
+				t.Fatalf("duplicate node %s in replica set of %s", n, d.Short())
+			}
+			seen[n] = true
+		}
+		if set[0] != r.Owner(d) {
+			t.Fatalf("Lookup[0] != Owner for %s", d.Short())
+		}
+	}
+	// More replicas than nodes: everyone, once.
+	if set := r.Lookup(sampleDigests(1)[0], 99); len(set) != 5 {
+		t.Errorf("clamped replica set size %d, want 5", len(set))
+	}
+	if empty := cluster.NewRing(nil, 0); empty.Lookup(sampleDigests(1)[0], 2) != nil {
+		t.Error("empty ring returned owners")
+	}
+}
+
+// TestRingMinimalReshuffle: adding or removing one node must remap
+// only ~1/N of a large digest sample — the property that makes
+// membership changes cheap. We allow 1.5x the ideal fraction.
+func TestRingMinimalReshuffle(t *testing.T) {
+	const nNodes, nKeys = 8, 4000
+	names := nodeNames(nNodes)
+	digests := sampleDigests(nKeys)
+	base := cluster.NewRing(names, 0)
+
+	t.Run("add", func(t *testing.T) {
+		grown := cluster.NewRing(append(append([]string(nil), names...), "http://node-new:8931"), 0)
+		moved := 0
+		for _, d := range digests {
+			if base.Owner(d) != grown.Owner(d) {
+				moved++
+			}
+		}
+		ideal := float64(nKeys) / float64(nNodes+1)
+		if f := float64(moved); f > 1.5*ideal {
+			t.Errorf("add remapped %d/%d keys (%.1f%%), ideal %.1f%%",
+				moved, nKeys, 100*f/nKeys, 100*ideal/nKeys)
+		}
+		if moved == 0 {
+			t.Error("add remapped nothing: new node owns no keys")
+		}
+	})
+
+	t.Run("remove", func(t *testing.T) {
+		shrunk := cluster.NewRing(names[1:], 0)
+		moved, lost := 0, 0
+		for _, d := range digests {
+			oldOwner := base.Owner(d)
+			if oldOwner != shrunk.Owner(d) {
+				moved++
+			}
+			if oldOwner == names[0] {
+				lost++
+			}
+		}
+		// Only keys owned by the removed node may move.
+		if moved != lost {
+			t.Errorf("remove remapped %d keys but only %d were owned by the removed node", moved, lost)
+		}
+		ideal := float64(nKeys) / float64(nNodes)
+		if f := float64(moved); f > 1.5*ideal {
+			t.Errorf("remove remapped %d/%d keys (%.1f%%), ideal %.1f%%",
+				moved, nKeys, 100*f/nKeys, 100*ideal/nKeys)
+		}
+	})
+}
+
+// TestRingReplicaSurvivesMembershipChange: when a node is removed,
+// every digest that replicated onto a surviving node keeps that
+// survivor in its new replica set — the property that lets failover
+// plus read-repair heal the set without a full re-replication pass.
+func TestRingReplicaSurvivesMembershipChange(t *testing.T) {
+	const replicas = 2
+	names := nodeNames(6)
+	base := cluster.NewRing(names, 0)
+	shrunk := cluster.NewRing(names[1:], 0)
+	removed := names[0]
+
+	for _, d := range sampleDigests(2000) {
+		old := base.Lookup(d, replicas)
+		now := map[string]bool{}
+		for _, n := range shrunk.Lookup(d, replicas) {
+			now[n] = true
+		}
+		for _, n := range old {
+			if n == removed {
+				continue
+			}
+			if !now[n] {
+				t.Fatalf("digest %s: surviving replica %s evicted from new set", d.Short(), n)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -11,7 +12,10 @@ import (
 	"repro/internal/core"
 )
 
-// Client is a thin Go client for the vbsd HTTP API.
+// Client is a thin Go client for the vbsd HTTP API. Every method has
+// a *Ctx variant taking a context.Context for per-call timeouts and
+// cancellation (the cluster gateway uses them to bound each hop); the
+// plain methods are background-context wrappers.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -39,7 +43,26 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
 }
 
-func (c *Client) do(method, path string, in, out any) error {
+// StatusCode returns the HTTP status of a server reply error, or 0
+// when err is not one (transport failures, cancellations).
+func StatusCode(err error) int {
+	if e, ok := err.(*apiError); ok {
+		return e.Status
+	}
+	return 0
+}
+
+// ErrorMessage returns the server-sent message of a reply error
+// without the client's "server: <code>: " framing, and err.Error()
+// for every other error — what a proxy should relay upstream.
+func ErrorMessage(err error) string {
+	if e, ok := err.(*apiError); ok {
+		return e.Message
+	}
+	return err.Error()
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -48,7 +71,7 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
@@ -61,17 +84,22 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var er errorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			msg = er.Error
-		}
-		return &apiError{Status: resp.StatusCode, Message: msg}
+		return readAPIError(resp)
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 	return nil
+}
+
+// readAPIError drains a non-2xx reply into an *apiError.
+func readAPIError(resp *http.Response) error {
+	var er errorResponse
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return &apiError{Status: resp.StatusCode, Message: msg}
 }
 
 // Load submits a VBS container for placement. fabric/x/y follow
@@ -84,9 +112,14 @@ func (c *Client) Load(container []byte, fabric, x, y *int) (LoadResponse, error)
 // (fabric/position pinning, per-request placement policy). The VBS
 // field of req is filled from container.
 func (c *Client) LoadWith(container []byte, req LoadRequest) (LoadResponse, error) {
+	return c.LoadWithCtx(context.Background(), container, req)
+}
+
+// LoadWithCtx is LoadWith bounded by ctx.
+func (c *Client) LoadWithCtx(ctx context.Context, container []byte, req LoadRequest) (LoadResponse, error) {
 	req.VBS = base64.StdEncoding.EncodeToString(container)
 	var out LoadResponse
-	err := c.do(http.MethodPost, "/tasks", req, &out)
+	err := c.do(ctx, http.MethodPost, "/tasks", req, &out)
 	return out, err
 }
 
@@ -101,66 +134,120 @@ func (c *Client) LoadVBS(v *core.VBS) (LoadResponse, error) {
 
 // Unload removes a loaded task.
 func (c *Client) Unload(id int64) error {
-	return c.do(http.MethodDelete, fmt.Sprintf("/tasks/%d", id), nil, nil)
+	return c.UnloadCtx(context.Background(), id)
+}
+
+// UnloadCtx is Unload bounded by ctx.
+func (c *Client) UnloadCtx(ctx context.Context, id int64) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/tasks/%d", id), nil, nil)
 }
 
 // Relocate moves a loaded task on its fabric.
 func (c *Client) Relocate(id int64, x, y int) (TaskInfo, error) {
+	return c.RelocateCtx(context.Background(), id, x, y)
+}
+
+// RelocateCtx is Relocate bounded by ctx.
+func (c *Client) RelocateCtx(ctx context.Context, id int64, x, y int) (TaskInfo, error) {
 	var out TaskInfo
-	err := c.do(http.MethodPost, fmt.Sprintf("/tasks/%d/relocate", id),
+	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/tasks/%d/relocate", id),
 		RelocateRequest{X: &x, Y: &y}, &out)
 	return out, err
 }
 
 // Compact defragments one fabric, returning how many tasks moved.
 func (c *Client) Compact(fabric int) (CompactResponse, error) {
+	return c.CompactCtx(context.Background(), fabric)
+}
+
+// CompactCtx is Compact bounded by ctx.
+func (c *Client) CompactCtx(ctx context.Context, fabric int) (CompactResponse, error) {
 	var out CompactResponse
-	err := c.do(http.MethodPost, fmt.Sprintf("/fabrics/%d/compact", fabric), nil, &out)
+	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/fabrics/%d/compact", fabric), nil, &out)
 	return out, err
 }
 
 // Tasks lists loaded tasks.
 func (c *Client) Tasks() ([]TaskInfo, error) {
+	return c.TasksCtx(context.Background())
+}
+
+// TasksCtx is Tasks bounded by ctx.
+func (c *Client) TasksCtx(ctx context.Context) ([]TaskInfo, error) {
 	var out []TaskInfo
-	err := c.do(http.MethodGet, "/tasks", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/tasks", nil, &out)
 	return out, err
 }
 
 // Fabrics describes the daemon's fabric pool.
 func (c *Client) Fabrics() ([]FabricInfo, error) {
+	return c.FabricsCtx(context.Background())
+}
+
+// FabricsCtx is Fabrics bounded by ctx.
+func (c *Client) FabricsCtx(ctx context.Context) ([]FabricInfo, error) {
 	var out []FabricInfo
-	err := c.do(http.MethodGet, "/fabrics", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/fabrics", nil, &out)
 	return out, err
 }
 
 // Stats fetches the daemon-wide counters.
 func (c *Client) Stats() (StatsResponse, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by ctx.
+func (c *Client) StatsCtx(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
-	err := c.do(http.MethodGet, "/stats", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &out)
+	return out, err
+}
+
+// Health probes GET /healthz, returning nil when the daemon answers
+// 200 within the context deadline.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// PutVBS admits a container into the daemon's store without placing a
+// task (POST /vbs) — the gateway's replication primitive.
+func (c *Client) PutVBS(ctx context.Context, container []byte) (PutVBSResponse, error) {
+	var out PutVBSResponse
+	err := c.do(ctx, http.MethodPost, "/vbs",
+		PutVBSRequest{VBS: base64.StdEncoding.EncodeToString(container)}, &out)
 	return out, err
 }
 
 // ListVBS lists every stored blob across the RAM and disk tiers.
 func (c *Client) ListVBS() ([]VBSInfo, error) {
+	return c.ListVBSCtx(context.Background())
+}
+
+// ListVBSCtx is ListVBS bounded by ctx.
+func (c *Client) ListVBSCtx(ctx context.Context) ([]VBSInfo, error) {
 	var out []VBSInfo
-	err := c.do(http.MethodGet, "/vbs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/vbs", nil, &out)
 	return out, err
 }
 
 // GetVBS downloads a stored container verbatim by hex digest.
 func (c *Client) GetVBS(digest string) ([]byte, error) {
-	resp, err := c.hc.Get(c.base + "/vbs/" + digest)
+	return c.GetVBSCtx(context.Background(), digest)
+}
+
+// GetVBSCtx is GetVBS bounded by ctx.
+func (c *Client) GetVBSCtx(ctx context.Context, digest string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/vbs/"+digest, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var er errorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			msg = er.Error
-		}
-		return nil, &apiError{Status: resp.StatusCode, Message: msg}
+		return nil, readAPIError(resp)
 	}
 	return io.ReadAll(resp.Body)
 }
@@ -168,5 +255,10 @@ func (c *Client) GetVBS(digest string) ([]byte, error) {
 // DeleteVBS drops a stored blob from both tiers. The daemon refuses
 // (409) while any live task references the digest.
 func (c *Client) DeleteVBS(digest string) error {
-	return c.do(http.MethodDelete, "/vbs/"+digest, nil, nil)
+	return c.DeleteVBSCtx(context.Background(), digest)
+}
+
+// DeleteVBSCtx is DeleteVBS bounded by ctx.
+func (c *Client) DeleteVBSCtx(ctx context.Context, digest string) error {
+	return c.do(ctx, http.MethodDelete, "/vbs/"+digest, nil, nil)
 }

@@ -77,7 +77,16 @@ type Options struct {
 	// disk, eviction demotes, misses fall through, and a boot recovery
 	// scan re-indexes (and quarantines) existing blobs.
 	DataDir string
+	// MaxBodyBytes bounds every JSON request body; an oversized body
+	// is rejected with 413 before being buffered in full. 0 selects
+	// DefaultMaxBodyBytes; negative disables the limit.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the request-body bound applied when
+// Options.MaxBodyBytes is zero: generous against any real VBS
+// container (base64 inflates by 4/3), small against a memory DoS.
+const DefaultMaxBodyBytes = 64 << 20
 
 // Server manages a pool of fabrics behind the HTTP API. Create one
 // with New and expose Handler on an http.Server.
@@ -88,6 +97,7 @@ type Server struct {
 	flight  *store.Flight[*controller.Decoded]
 	workers int
 	policy  sched.Policy
+	maxBody int64
 	start   time.Time
 
 	mu     sync.Mutex
@@ -133,6 +143,10 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	return &Server{
 		ctrls: ctrls,
 		store: store.NewTiered(opts.StoreBytes, disk),
@@ -141,6 +155,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 		flight:  store.NewFlight[*controller.Decoded](),
 		workers: opts.DecodeWorkers,
 		policy:  pol,
+		maxBody: maxBody,
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
 		pending: make(map[store.Digest]int),
@@ -156,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /tasks/{id}/relocate", s.handleRelocate)
 	mux.HandleFunc("POST /fabrics/{i}/compact", s.handleCompact)
 	mux.HandleFunc("GET /fabrics", s.handleFabrics)
+	mux.HandleFunc("POST /vbs", s.handlePutVBS)
 	mux.HandleFunc("GET /vbs", s.handleListVBS)
 	mux.HandleFunc("GET /vbs/{digest}", s.handleGetVBS)
 	mux.HandleFunc("DELETE /vbs/{digest}", s.handleDeleteVBS)
@@ -174,6 +190,46 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody reads a JSON request body under the server's size bound.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return DecodeJSONBody(w, r, s.maxBody, v)
+}
+
+// DecodeJSONBody reads a JSON request body bounded by maxBytes
+// (<= 0 = unbounded), replying 413 on overflow and 400 on malformed
+// JSON. It returns false when a reply was already written. Shared by
+// the daemon and the cluster gateway so both surfaces reject
+// oversized bodies identically.
+func DecodeJSONBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	body := r.Body
+	if maxBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, maxBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// writePutError reports a store.Put failure: disk-tier I/O failures
+// are the server's fault — 500, worded as such, and a cluster
+// gateway fails the load over to another node — while everything
+// else is a malformed container, 400.
+func writePutError(w http.ResponseWriter, err error) {
+	if errors.Is(err, store.ErrDisk) {
+		writeError(w, http.StatusInternalServerError, "cannot persist vbs: %v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad vbs container: %v", err)
 }
 
 // getOrDecode returns the decoded form of a stored VBS, consulting the
@@ -202,8 +258,7 @@ func (s *Server) getOrDecode(ent *store.Entry) (dec *controller.Decoded, cached 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	var req LoadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if (req.X == nil) != (req.Y == nil) {
@@ -215,24 +270,29 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
 		return
 	}
-	ent, _, err := s.store.Put(data)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad vbs container: %v", err)
-		return
-	}
-	// From admission until the task is registered (or this load gives
-	// up), hold a pending reference so a concurrent DELETE /vbs cannot
-	// drop the blob in the gap.
+	// From before admission until the task is registered (or this
+	// load gives up), hold a pending reference so a concurrent
+	// DELETE /vbs cannot drop the blob in the gap. The ref must be
+	// taken before Put: taken after, a delete sneaking between
+	// admission and the increment would see zero references, remove
+	// the blob, and leave this load registering a task whose digest
+	// is no longer stored.
+	digest := store.DigestOf(data)
 	s.mu.Lock()
-	s.pending[ent.Digest]++
+	s.pending[digest]++
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		if s.pending[ent.Digest]--; s.pending[ent.Digest] <= 0 {
-			delete(s.pending, ent.Digest)
+		if s.pending[digest]--; s.pending[digest] <= 0 {
+			delete(s.pending, digest)
 		}
 		s.mu.Unlock()
 	}()
+	ent, _, err := s.store.Put(data)
+	if err != nil {
+		writePutError(w, err)
+		return
+	}
 	dec, cached, err := s.getOrDecode(ent)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "decode failed: %v", err)
@@ -433,8 +493,7 @@ func (s *Server) handleRelocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RelocateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	// Both coordinates are required: a partial or empty body must not
@@ -526,6 +585,32 @@ func (s *Server) digestRefs() map[store.Digest]int {
 	}
 	s.mu.Unlock()
 	return refs
+}
+
+// handlePutVBS admits a container into the store without placing a
+// task — the replication path of the cluster gateway, and a cheap way
+// to pre-seed a daemon. The blob lands in both tiers exactly like a
+// load-time admission (write-through with a data dir).
+func (s *Server) handlePutVBS(w http.ResponseWriter, r *http.Request) {
+	var req PutVBSRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.VBS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
+		return
+	}
+	ent, existed, err := s.store.Put(data)
+	if err != nil {
+		writePutError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PutVBSResponse{
+		Digest:  ent.Digest.String(),
+		Bytes:   ent.SizeBytes(),
+		Existed: existed,
+	})
 }
 
 // handleListVBS lists every stored blob across both tiers.

@@ -1,6 +1,8 @@
 package server_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -263,6 +265,76 @@ func TestBadRequests(t *testing.T) {
 	x := 3
 	_, err = cl.Load(data, nil, &x, nil)
 	check(err, "400", "x without y")
+}
+
+// TestMaxBodyBytes: JSON bodies beyond Options.MaxBodyBytes must be
+// rejected with 413 before being buffered — the seed accepted
+// unbounded POST /tasks bodies.
+func TestMaxBodyBytes(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{MaxBodyBytes: 1024})
+
+	_, err := cl.Load(make([]byte, 4096), nil, nil, nil)
+	if err == nil {
+		t.Fatal("oversized body accepted")
+	}
+	if !strings.Contains(err.Error(), "413") {
+		t.Fatalf("oversized body error = %v, want 413", err)
+	}
+
+	// A body under the bound still works end to end.
+	data, err := makeVBS(5, 8, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= 768 { // base64 inflates by 4/3 toward the 1024 cap
+		t.Fatalf("test container unexpectedly large: %d bytes", len(data))
+	}
+	if _, err := cl.Load(data, nil, nil, nil); err != nil {
+		t.Fatalf("in-bound load: %v", err)
+	}
+}
+
+// TestPutVBSAdmitsWithoutPlacement: POST /vbs stores a blob without
+// consuming any fabric area, deduplicates, and serves it back
+// byte-identical — the gateway's replication primitive.
+func TestPutVBSAdmitsWithoutPlacement(t *testing.T) {
+	cl, _ := newTestDaemon(t, 1, 16, server.Options{})
+	data, err := makeVBS(6, 10, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	res, err := cl.PutVBS(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Existed || res.Bytes != len(data) {
+		t.Errorf("first put = %+v", res)
+	}
+	if again, err := cl.PutVBS(ctx, data); err != nil || !again.Existed {
+		t.Errorf("second put = %+v, %v", again, err)
+	}
+
+	tasks, err := cl.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Errorf("put placed %d task(s)", len(tasks))
+	}
+	got, err := cl.GetVBS(res.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("stored blob differs from submitted bytes")
+	}
+
+	if _, err := cl.PutVBS(ctx, []byte("garbage")); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Errorf("malformed put error = %v, want 400", err)
+	}
 }
 
 // TestUnloadControllerFailure: a controller-refused unload must be

@@ -43,6 +43,13 @@ func ParseDigest(s string) (Digest, error) { return repo.ParseDigest(s) }
 // ErrNotFound reports a digest held by neither tier.
 var ErrNotFound = errors.New("store: not found")
 
+// ErrDisk wraps disk-tier I/O failures surfaced by Put: the container
+// was valid but could not be persisted. Callers translating to HTTP
+// must report these as server-side (5xx), not client, errors — a
+// cluster gateway fails loads over to another replica on 5xx but
+// treats other Put failures as deterministic 400s.
+var ErrDisk = errors.New("store: disk tier")
+
 // Entry is one stored Virtual Bit-Stream.
 type Entry struct {
 	// Digest is the content address of Data.
@@ -136,12 +143,19 @@ func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
 		return nil, false, err
 	}
 	ent = &Entry{Digest: d, VBS: v, Data: append([]byte(nil), data...)}
+	// A blob can be held by disk alone (RAM eviction, boot recovery):
+	// the disk tier's dedup verdict counts toward "existed" too, or a
+	// re-put after demotion would misreport a fresh admission.
+	diskExisted := false
 	if s.disk != nil {
-		if _, err := s.disk.PutDigest(d, ent.Data); err != nil {
-			return nil, false, err
+		de, err := s.disk.PutDigest(d, ent.Data)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrDisk, err)
 		}
+		diskExisted = de
 	}
-	return s.admit(ent)
+	ent, ramExisted, err := s.admit(ent)
+	return ent, ramExisted || diskExisted, err
 }
 
 // admit inserts a parsed entry into the RAM tier, running eviction.

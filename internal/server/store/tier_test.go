@@ -35,6 +35,37 @@ func TestTieredPutWritesThrough(t *testing.T) {
 	}
 }
 
+// TestTieredPutExistedCountsDiskResidency: re-putting a blob the
+// store only holds on disk (after RAM eviction, or a restart's
+// recovery scan) must report existed=true — POST /vbs and the
+// cluster gateway's replication accounting rely on the dedup verdict.
+func TestTieredPutExistedCountsDiskResidency(t *testing.T) {
+	disk := newDisk(t)
+	a := testVBS(t, 2)
+	s := NewTiered(len(a)+1, disk)
+	if _, existed, err := s.Put(a); err != nil || existed {
+		t.Fatalf("first put: existed=%v, err=%v", existed, err)
+	}
+	// Evict a from RAM; the disk copy remains.
+	entA := DigestOf(a)
+	if _, _, err := s.Put(testVBS(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.getRAM(entA); ok {
+		t.Fatal("first entry still RAM-resident; eviction did not trigger")
+	}
+	if _, existed, err := s.Put(a); err != nil || !existed {
+		t.Fatalf("re-put of disk-resident blob: existed=%v, err=%v", existed, err)
+	}
+
+	// A fresh store over the same repository (a restarted daemon)
+	// must also recognize the blob.
+	s2 := NewTiered(0, disk)
+	if _, existed, err := s2.Put(a); err != nil || !existed {
+		t.Fatalf("re-put after restart: existed=%v, err=%v", existed, err)
+	}
+}
+
 // TestTieredEvictionLosesNoBlob is the acceptance-criteria check:
 // with a disk tier, RAM eviction demotes, and a later Get returns
 // bytes identical to the original upload via disk fall-through.

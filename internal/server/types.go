@@ -55,6 +55,23 @@ type CompactResponse struct {
 	Moved int `json:"moved"`
 }
 
+// PutVBSRequest is the body of POST /vbs: blob admission without
+// placement. The cluster gateway uses it to replicate containers to
+// nodes that do not host the task.
+type PutVBSRequest struct {
+	// VBS is the base64 (standard encoding) VBS container.
+	VBS string `json:"vbs"`
+}
+
+// PutVBSResponse describes an admitted blob.
+type PutVBSResponse struct {
+	Digest string `json:"digest"`
+	Bytes  int    `json:"bytes"`
+	// Existed reports that the store already held the digest (the put
+	// deduplicated instead of admitting new bytes).
+	Existed bool `json:"existed"`
+}
+
 // TaskInfo describes one loaded task in GET /tasks.
 type TaskInfo struct {
 	ID     int64  `json:"id"`
@@ -64,6 +81,10 @@ type TaskInfo struct {
 	TaskW  int    `json:"task_w"`
 	TaskH  int    `json:"task_h"`
 	Digest string `json:"digest"`
+	// Node names the vbsd node hosting the task. A single daemon
+	// leaves it empty; the cluster gateway fills it when merging
+	// scatter-gathered listings.
+	Node string `json:"node,omitempty"`
 }
 
 // FabricInfo describes one fabric in GET /fabrics.
@@ -73,6 +94,10 @@ type FabricInfo struct {
 	Height int `json:"height"`
 	W      int `json:"channel_width"`
 	K      int `json:"lut_size"`
+	// Node names the vbsd node owning the fabric (cluster gateway
+	// only; empty on a single daemon). In a merged listing Index is
+	// the fleet-global fabric index.
+	Node string `json:"node,omitempty"`
 	controller.Stats
 }
 
@@ -132,6 +157,9 @@ type VBSInfo struct {
 	// Tasks counts live tasks currently referencing the blob; a blob
 	// with Tasks > 0 refuses DELETE /vbs/{digest}.
 	Tasks int `json:"tasks"`
+	// Replicas counts cluster nodes holding the blob (cluster gateway
+	// only; zero on a single daemon).
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // PlacementInfo summarizes the placement engine in GET /stats.

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Serve-path benchmark: run the vbsload load/get/unload mix against a
+# real vbsd daemon and refresh the committed BENCH_serve.json
+# baseline (the serving-side counterpart of BENCH_decode.json).
+#
+# Usage: ./scripts/bench_serve.sh [duration]   (default 5s)
+set -euo pipefail
+
+duration=${1:-5s}
+addr=127.0.0.1:8968
+work=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build" >&2
+go build -o "$work/bin/" ./cmd/vbsd ./cmd/vbsload
+
+echo "== start vbsd" >&2
+"$work/bin/vbsd" -addr "$addr" -fabrics 2 -size 64x64 -w 12 >"$work/vbsd.log" 2>&1 &
+pid=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+echo "== drive $duration of mixed load" >&2
+# Two steps (not a pipeline) so a failing run cannot overwrite the
+# baseline with a partial document.
+"$work/bin/vbsload" -url "http://$addr" -duration "$duration" -workers 8 \
+  -tasks 8 -mix 20:60:20 -json >"$work/bench_serve.json"
+mv "$work/bench_serve.json" BENCH_serve.json
+echo "== wrote BENCH_serve.json" >&2
+cat BENCH_serve.json

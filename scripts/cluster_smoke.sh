@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Cluster smoke test: prove the vbsgw sharded-serving loop end-to-end
+# against three real vbsd nodes and a hard kill.
+#
+#   1. generate distinct VBS tasks with the offline flow
+#   2. import one of them into a node's data dir with vbsrepo
+#      (out-of-band arrival: the gateway must still find it)
+#   3. start 3 vbsd nodes + vbsgw -replicas 2
+#   4. load the other tasks through the gateway; every blob must land
+#      on exactly its replica set
+#   5. download every digest through the gateway, byte-compare
+#      (this read-repairs the imported blob onto its ring owners)
+#   6. SIGKILL one node; every digest must still serve byte-identical
+#      through gateway failover
+#   7. drive a concurrent load/get/unload mix at the gateway with
+#      vbsload as a serve-path sanity check
+#
+# Run from the repository root: ./scripts/cluster_smoke.sh
+set -euo pipefail
+
+gwaddr=127.0.0.1:8960
+node_addrs=(127.0.0.1:8961 127.0.0.1:8962 127.0.0.1:8963)
+work=$(mktemp -d)
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work/bin/" ./cmd/vbsd ./cmd/vbsgw ./cmd/vbsgen ./cmd/vbsrepo ./cmd/vbsload
+
+echo "== generate tasks"
+for i in 1 2 3 4; do
+  "$work/bin/vbsgen" -bench tseng -scale 8 -effort 1 -w 12 -seed "$i" -o "$work/task$i.vbs" >/dev/null
+done
+
+echo "== import task4 into node 3's repository (out-of-band)"
+"$work/bin/vbsrepo" import -dir "$work/data3" "$work/task4.vbs"
+digest4=$(sha256sum "$work/task4.vbs" | cut -d' ' -f1)
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: $1 did not become healthy" >&2
+  exit 1
+}
+
+echo "== start 3 nodes + gateway"
+i=0
+for addr in "${node_addrs[@]}"; do
+  i=$((i + 1))
+  "$work/bin/vbsd" -addr "$addr" -fabrics 1 -size 32x32 -w 12 \
+    -data-dir "$work/data$i" >"$work/node$i.log" 2>&1 &
+  pids+=($!)
+done
+for addr in "${node_addrs[@]}"; do wait_healthy "$addr"; done
+nodes_flag=$(printf 'http://%s,' "${node_addrs[@]}")
+"$work/bin/vbsgw" -addr "$gwaddr" -nodes "${nodes_flag%,}" -replicas 2 \
+  -probe-interval 500ms >"$work/gw.log" 2>&1 &
+pids+=($!)
+gwpid=$!
+wait_healthy "$gwaddr"
+
+echo "== load tasks 1-3 through the gateway"
+digests=()
+for i in 1 2 3; do
+  d=$(curl -fsS -XPOST --data-binary "{\"vbs\":\"$(base64 -w0 "$work/task$i.vbs")\"}" \
+    "http://$gwaddr/tasks" | sed -n 's/.*"digest":"\([0-9a-f]\{64\}\)".*/\1/p')
+  if [ -z "$d" ]; then
+    echo "FAIL: load of task$i returned no digest" >&2
+    exit 1
+  fi
+  digests+=("$d")
+done
+digests+=("$digest4")
+
+echo "== every loaded blob sits on exactly 2 nodes (write-through replication)"
+for d in "${digests[@]:0:3}"; do
+  copies=0
+  for addr in "${node_addrs[@]}"; do
+    if curl -fsS "http://$addr/vbs" | grep -q "$d"; then copies=$((copies + 1)); fi
+  done
+  if [ "$copies" -ne 2 ]; then
+    echo "FAIL: digest $d on $copies node(s), want 2" >&2
+    exit 1
+  fi
+done
+
+echo "== merged /vbs listing covers all 4 digests (incl. the import)"
+listing=$(curl -fsS "http://$gwaddr/vbs")
+for d in "${digests[@]}"; do
+  case "$listing" in
+    *"$d"*) ;;
+    *) echo "FAIL: merged listing misses $d" >&2; exit 1 ;;
+  esac
+done
+
+echo "== byte-identical serving through the gateway (read-repairs the import)"
+for i in 1 2 3 4; do
+  d=${digests[$((i - 1))]}
+  curl -fsS "http://$gwaddr/vbs/$d" -o "$work/rt$i.vbs"
+  cmp "$work/task$i.vbs" "$work/rt$i.vbs"
+done
+
+echo "== SIGKILL node 2"
+kill -9 "${pids[1]}"
+wait "${pids[1]}" 2>/dev/null || true
+
+echo "== every digest still serves byte-identical via failover"
+for i in 1 2 3 4; do
+  d=${digests[$((i - 1))]}
+  curl -fsS "http://$gwaddr/vbs/$d" -o "$work/ft$i.vbs"
+  cmp "$work/task$i.vbs" "$work/ft$i.vbs"
+  sum=$(sha256sum "$work/ft$i.vbs" | cut -d' ' -f1)
+  if [ "$sum" != "$d" ]; then
+    echo "FAIL: post-kill bytes hash to $sum, expected $d" >&2
+    exit 1
+  fi
+done
+
+echo "== cluster stats block"
+stats=$(curl -fsS "http://$gwaddr/stats")
+case "$stats" in
+  *'"replicas":2'*) ;;
+  *) echo "FAIL: /stats cluster block missing replicas: $stats" >&2; exit 1 ;;
+esac
+case "$stats" in
+  *'"ring_version":"'*) ;;
+  *) echo "FAIL: /stats cluster block missing ring_version" >&2; exit 1 ;;
+esac
+
+echo "== vbsload mix against the degraded cluster"
+"$work/bin/vbsload" -url "http://$gwaddr" -ops 60 -workers 4 -tasks 2 -mix 30:50:20
+
+echo "== graceful gateway shutdown"
+kill "$gwpid"
+for _ in $(seq 1 50); do
+  if ! kill -0 "$gwpid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -0 "$gwpid" 2>/dev/null; then
+  echo "FAIL: vbsgw did not shut down on SIGTERM" >&2
+  exit 1
+fi
+
+echo "PASS: cluster smoke"
