@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-serve persist-smoke cluster-smoke
+.PHONY: all build test race bench bench-smoke bench-serve persist-smoke cluster-smoke chaos-smoke chaos-soak
 
 all: build test
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/repo/ ./internal/cluster/ ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
+	$(GO) test -race ./internal/server/... ./internal/repo/ ./internal/cluster/ ./internal/chaos/ ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/
 
 # bench runs the decode scoreboard benchmarks and refreshes the
 # committed perf baseline BENCH_decode.json (benchmark name -> ns/op,
@@ -39,7 +39,18 @@ persist-smoke:
 	./scripts/persistence_smoke.sh
 
 # cluster-smoke proves the vbsgw sharded-serving loop: 3 nodes +
-# gateway, replicated loads, an out-of-band import, a SIGKILL, and
-# byte-identical failover (see scripts/cluster_smoke.sh).
+# gateway, replicated loads, an out-of-band import, byte-identical
+# serving, and a vbsload mix under a strict error budget
+# (see scripts/cluster_smoke.sh).
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# chaos-smoke runs the CI-sized chaos recipes (nodekill, corruptblob)
+# against real vbsd subprocesses: fault injection under live traffic,
+# then fleet-wide invariant checks (see scripts/chaos_smoke.sh).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
+# chaos-soak is the full-length run of every recipe — minutes, not CI.
+chaos-soak:
+	$(GO) run ./cmd/vbschaos -recipe all

@@ -1,0 +1,139 @@
+// Command vbschaos runs named chaos recipes against a vbsd fleet
+// while a continuous mixed workload drives traffic, then checks
+// fleet-wide invariants: every acked blob retrievable byte-identical,
+// replica counts back at R, no orphaned fabric occupancy, no task
+// resurrection, client error budget held.
+//
+//	vbschaos -recipe nodekill -short          # in-process fleet, CI-sized
+//	vbschaos -recipe all -vbsd ./bin/vbsd     # real vbsd subprocesses, full soak
+//	vbschaos -list                            # show recipes
+//
+// By default the fleet runs in-process (fast, hermetic). With -vbsd
+// pointing at a built daemon binary, nodes are real subprocesses and
+// the kill primitive is a real SIGKILL. The gateway always runs
+// in-process. Each recipe emits a JSON report; exit is non-zero if
+// any recipe fails an invariant.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vbschaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		recipe   = fs.String("recipe", "", "recipe to run, or \"all\" (see -list)")
+		list     = fs.Bool("list", false, "list recipes and exit")
+		short    = fs.Bool("short", false, "CI-sized run: short phases, tight deadlines")
+		nodes    = fs.Int("nodes", 3, "vbsd node count")
+		replicas = fs.Int("replicas", 2, "blob replica count at the gateway")
+		vbsd     = fs.String("vbsd", "", "path to a vbsd binary (empty = in-process nodes)")
+		workDir  = fs.String("work-dir", "", "fleet scratch directory (empty = temp dir, removed on exit)")
+		seed     = fs.Int64("seed", 1, "workload and generation seed")
+		workers  = fs.Int("workers", 0, "workload workers (0 = default)")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range chaos.Names() {
+			r, _ := chaos.Lookup(name)
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Description)
+		}
+		return 0
+	}
+	if *recipe == "" {
+		fmt.Fprintln(stderr, "vbschaos: -recipe is required (or -list)")
+		return 2
+	}
+	names := []string{*recipe}
+	if *recipe == "all" {
+		names = chaos.Names()
+	} else if _, ok := chaos.Lookup(*recipe); !ok {
+		fmt.Fprintf(stderr, "vbschaos: unknown recipe %q (have %v)\n", *recipe, chaos.Names())
+		return 2
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ctx := context.Background()
+	failed := 0
+	for _, name := range names {
+		rep, err := runOne(ctx, name, *nodes, *replicas, *vbsd, *workDir, *seed, *workers, *short, logf)
+		if rep != nil {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rep)
+		}
+		switch {
+		case err != nil:
+			fmt.Fprintf(stderr, "vbschaos: %v\n", err)
+			failed++
+		case !rep.Passed:
+			fmt.Fprintf(stderr, "vbschaos: recipe %s FAILED invariants\n", name)
+			failed++
+		default:
+			logf("vbschaos: recipe %s passed (%.1fs, %d ops, %d fault(s))",
+				name, rep.WallS, rep.Workload.Ops, len(rep.FaultsInjected))
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runOne builds a fresh fleet, runs one recipe, and tears down.
+func runOne(ctx context.Context, name string, nodes, replicas int, vbsd, workDir string,
+	seed int64, workers int, short bool, logf func(string, ...any)) (*chaos.Report, error) {
+	dir := workDir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "vbschaos-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	probe := 500 * time.Millisecond
+	if short {
+		probe = 150 * time.Millisecond
+	}
+	var fleet *chaos.Fleet
+	var err error
+	if vbsd == "" {
+		logf("vbschaos: %s: starting %d in-process node(s) + gateway (replicas=%d)", name, nodes, replicas)
+		fleet, err = chaos.NewLocalFleet(ctx, dir, nodes, replicas, probe)
+	} else {
+		logf("vbschaos: %s: starting %d vbsd subprocess(es) + gateway (replicas=%d)", name, nodes, replicas)
+		fleet, err = chaos.NewProcFleet(ctx, vbsd, dir, nodes, replicas, probe)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	defer fleet.Close()
+
+	return chaos.Run(ctx, fleet, name, chaos.Config{
+		Short:   short,
+		Seed:    seed,
+		Workers: workers,
+		Log:     logf,
+	})
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestListRecipes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range chaos.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no -recipe: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-recipe is required") {
+		t.Fatalf("no usage hint on stderr: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-recipe", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown recipe: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown recipe") {
+		t.Fatalf("no unknown-recipe error on stderr: %s", errb.String())
+	}
+}
+
+// TestRunNodeKillShort drives the real engine end to end through the
+// CLI: in-process fleet, short profile, JSON report on stdout.
+func TestRunNodeKillShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-recipe", "nodekill",
+		"-short",
+		"-nodes", "3",
+		"-workers", "3",
+		"-work-dir", t.TempDir(),
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not one JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Recipe != "nodekill" || !rep.Passed || !rep.Short {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if len(rep.FaultsInjected) == 0 || rep.Workload.Ops == 0 {
+		t.Fatalf("report shows no activity: %+v", rep)
+	}
+	if !strings.Contains(errb.String(), "recipe nodekill passed") {
+		t.Fatalf("no pass line on stderr:\n%s", errb.String())
+	}
+}

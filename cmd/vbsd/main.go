@@ -55,6 +55,7 @@ func main() {
 		policy    = flag.String("policy", "", "placement policy: "+strings.Join(sched.Names(), ", ")+" (default emptiest)")
 		dataDir   = flag.String("data-dir", "", "persistent VBS repository directory (empty = RAM-only store)")
 		warm      = flag.Int("warm", 0, "with -data-dir, pre-decode up to N stored blobs into the cache at boot (-1 = all, 0 = off)")
+		chaos     = flag.Bool("chaos", false, "expose /chaos/faults fault-injection endpoints (testing only)")
 	)
 	flag.Parse()
 
@@ -81,9 +82,13 @@ func main() {
 		DecodeWorkers: *workers,
 		Policy:        *policy,
 		DataDir:       *dataDir,
+		EnableChaos:   *chaos,
 	})
 	if err != nil {
 		log.Fatalf("vbsd: %v", err)
+	}
+	if *chaos {
+		log.Printf("vbsd: WARNING: /chaos/faults fault injection enabled")
 	}
 	if *dataDir != "" {
 		rep := srv.RecoveryReport()

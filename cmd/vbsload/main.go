@@ -28,13 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/arch"
-	"repro/internal/bits"
-	"repro/internal/core"
-	"repro/internal/netlist"
-	"repro/internal/place"
-	"repro/internal/route"
-	"repro/internal/rrg"
+	"repro/internal/loadgen"
 	"repro/internal/server"
 )
 
@@ -89,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "generation and mix seed")
 		jsonOut  = fs.Bool("json", false, "emit a JSON summary on stdout")
 		cleanup  = fs.Bool("cleanup", true, "unload remaining tasks at the end")
+		maxErr   = fs.Float64("max-error-rate", 1.0, "fail (exit 1) when errors/ops exceeds this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "vbsload: generating %d task(s) for W=%d K=%d fabrics\n", *tasks, w, k)
 	containers := make([][]byte, *tasks)
 	for i := range containers {
-		if containers[i], err = genTask(*seed+int64(i), w, k); err != nil {
+		if containers[i], err = loadgen.GenTask(*seed+int64(i), w, k); err != nil {
 			fmt.Fprintf(stderr, "vbsload: task generation: %v\n", err)
 			return 1
 		}
@@ -141,6 +136,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vbsload: no operation completed")
 		return 1
 	}
+	// The default 1.0 budget never trips (a rate cannot exceed 1), so
+	// existing invocations keep exiting 0 no matter what; chaos and
+	// smoke scripts pass a real budget to make failures fail.
+	if rate := float64(s.Errors) / float64(s.Ops); rate > *maxErr {
+		fmt.Fprintf(stderr, "vbsload: error rate %.3f (%d/%d) exceeds -max-error-rate %.3f\n",
+			rate, s.Errors, s.Ops, *maxErr)
+		return 1
+	}
 	return 0
 }
 
@@ -162,51 +165,6 @@ func parseMix(s string) ([nOps]int, error) {
 		return out, fmt.Errorf("bad -mix %q: all zero", s)
 	}
 	return out, nil
-}
-
-// genTask compiles a small random design to a VBS container matching
-// the target's channel width and LUT size.
-func genTask(seed int64, w, k int) ([]byte, error) {
-	rng := rand.New(rand.NewSource(seed))
-	d := &netlist.Design{Name: "loadgen", K: k}
-	var nets []netlist.NetID
-	for i := 0; i < 4; i++ {
-		_, n := d.AddInputPad("pi")
-		nets = append(nets, n)
-	}
-	for i := 0; i < 8; i++ {
-		nin := rng.Intn(3) + 1
-		ins := make([]netlist.NetID, nin)
-		for j := range ins {
-			ins[j] = nets[rng.Intn(len(nets))]
-		}
-		truth := bits.NewVec(1 << k)
-		for b := 0; b < 1<<k; b++ {
-			truth.Set(b, rng.Intn(2) == 0)
-		}
-		_, n := d.AddLogicBlock("lb", ins, truth, false)
-		nets = append(nets, n)
-	}
-	for i := 0; i < 4; i++ {
-		d.AddOutputPad("po", nets[len(nets)-1-i])
-	}
-	pl, err := place.Place(d, arch.GridForSize(4), place.Options{Seed: seed, InnerNum: 1, FastExit: true})
-	if err != nil {
-		return nil, err
-	}
-	gr, err := rrg.Build(arch.Params{W: w, K: k}, pl.Grid)
-	if err != nil {
-		return nil, err
-	}
-	res, err := route.Route(d, pl, gr, route.Options{})
-	if err != nil {
-		return nil, err
-	}
-	v, _, err := core.Encode(d, pl, res, core.EncodeOptions{Cluster: 1})
-	if err != nil {
-		return nil, err
-	}
-	return v.Encode()
 }
 
 // bench is the shared run state.

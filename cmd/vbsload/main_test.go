@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -107,5 +108,61 @@ func TestParseMix(t *testing.T) {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted", bad)
 		}
+	}
+}
+
+// brokenDaemon serves /fabrics (so task generation proceeds) but
+// fails every mutating endpoint — the shape of a dead backend behind
+// a live proxy.
+func brokenDaemon(t *testing.T) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fabrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`[{"index":0,"width":16,"height":16,"channel_width":8,"lut_size":6}]`))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"injected backend failure"}`, http.StatusInternalServerError)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestMaxErrorRate: a run where every op fails must exit non-zero
+// once a budget is set — and keep exiting 0 under the default budget
+// of 1.0, preserving prior behavior for existing scripts.
+func TestMaxErrorRate(t *testing.T) {
+	url := brokenDaemon(t)
+	common := []string{"-url", url, "-ops", "10", "-workers", "2", "-tasks", "1", "-mix", "100:0:0", "-cleanup=false"}
+
+	var stdout, stderr bytes.Buffer
+	code := run(append(common, "-max-error-rate", "0.5"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d with 100%% errors and budget 0.5, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "exceeds -max-error-rate") {
+		t.Fatalf("stderr does not explain the budget failure: %s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run(common, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d with default budget, want 0 (back-compat)\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestMaxErrorRatePassesCleanRun: a healthy run under a zero budget
+// stays exit 0.
+func TestMaxErrorRatePassesCleanRun(t *testing.T) {
+	url := startDaemon(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", url, "-ops", "20", "-workers", "2", "-tasks", "1",
+		"-mix", "50:40:10", "-max-error-rate", "0",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d on a clean run with budget 0\nstderr: %s", code, stderr.String())
 	}
 }

@@ -1,0 +1,177 @@
+package chaos
+
+// Invariant conditions: what must hold once the dust settles. The
+// engine polls each condition until it passes or the convergence
+// deadline lapses — convergence (read-repair, health probing) is
+// asynchronous, so a single snapshot would race it.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/repo"
+)
+
+// Condition is one named invariant check over a settled fleet. Check
+// returns nil when the invariant holds right now.
+type Condition struct {
+	Name  string
+	Check func(ctx context.Context, e *Env) error
+}
+
+// ConditionResult is one condition's outcome in the report.
+type ConditionResult struct {
+	Name   string  `json:"name"`
+	Passed bool    `json:"passed"`
+	Error  string  `json:"error,omitempty"`
+	WaitS  float64 `json:"wait_s"`
+}
+
+// StandardConditions returns the invariant set every recipe must
+// leave intact, in checking order: retrieval first (its reads also
+// trigger the repair sweeps replica convergence needs).
+func StandardConditions() []Condition {
+	return []Condition{
+		{"blobs-retrievable", checkBlobsRetrievable},
+		{"replicas-converge", checkReplicasConverge},
+		{"no-orphaned-occupancy", checkNoOrphanedOccupancy},
+		{"no-task-resurrection", checkNoTaskResurrection},
+		{"error-budget", checkErrorBudget},
+	}
+}
+
+// checkBlobsRetrievable: every digest the gateway ever acked is
+// retrievable through the gateway, byte-identical to what was acked.
+func checkBlobsRetrievable(ctx context.Context, e *Env) error {
+	acked := e.Work.Acked()
+	digests := make([]string, 0, len(acked))
+	for d := range acked {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	for _, d := range digests {
+		data, err := e.Fleet.Client.GetVBSCtx(ctx, d)
+		if err != nil {
+			return fmt.Errorf("acked digest %.12s not retrievable: %w", d, err)
+		}
+		if repo.DigestOf(data).String() != d {
+			return fmt.Errorf("acked digest %.12s served corrupt bytes", d)
+		}
+	}
+	return nil
+}
+
+// checkReplicasConverge: every acked digest sits on min(R, alive)
+// nodes. Reads the gateway's merged /vbs listing, whose Replicas
+// field counts holders; issues a gateway read for any degraded digest
+// so the next poll finds the repair sweep done.
+func checkReplicasConverge(ctx context.Context, e *Env) error {
+	want := e.Fleet.Replicas
+	if alive := e.Fleet.AliveNodes(); alive < want {
+		want = alive
+	}
+	listing, err := e.Fleet.Client.ListVBSCtx(ctx)
+	if err != nil {
+		return fmt.Errorf("merged vbs listing: %w", err)
+	}
+	replicas := make(map[string]int, len(listing))
+	for _, b := range listing {
+		replicas[b.Digest] = b.Replicas
+	}
+	for d := range e.Work.Acked() {
+		if got := replicas[d]; got < want {
+			// Nudge: a gateway read schedules the owner-verification
+			// sweep that heals the set.
+			_, _ = e.Fleet.Client.GetVBSCtx(ctx, d)
+			return fmt.Errorf("digest %.12s on %d node(s), want %d", d, got, want)
+		}
+	}
+	return nil
+}
+
+// checkNoOrphanedOccupancy: on every alive node, the fabric
+// controllers' live-task count matches the task listing — no region
+// stays occupied by a task the API no longer knows.
+func checkNoOrphanedOccupancy(ctx context.Context, e *Env) error {
+	for _, n := range e.Fleet.Nodes {
+		if !n.Alive() {
+			continue
+		}
+		fabrics, err := n.Client().FabricsCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("%s fabrics: %w", n.Name(), err)
+		}
+		occupied := 0
+		for _, f := range fabrics {
+			occupied += f.Tasks
+		}
+		tasks, err := n.Client().TasksCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("%s tasks: %w", n.Name(), err)
+		}
+		if occupied != len(tasks) {
+			return fmt.Errorf("%s: %d task(s) occupying fabrics, %d listed", n.Name(), occupied, len(tasks))
+		}
+	}
+	return nil
+}
+
+// checkNoTaskResurrection: no task whose unload the gateway acked is
+// listed again.
+func checkNoTaskResurrection(ctx context.Context, e *Env) error {
+	tasks, err := e.Fleet.Client.TasksCtx(ctx)
+	if err != nil {
+		return fmt.Errorf("gateway tasks: %w", err)
+	}
+	live := make(map[int64]bool, len(tasks))
+	for _, t := range tasks {
+		live[t.ID] = true
+	}
+	for _, id := range e.Work.UnloadedTasks() {
+		if live[id] {
+			return fmt.Errorf("task %d resurrected after acked unload", id)
+		}
+	}
+	return nil
+}
+
+// checkErrorBudget: the client-visible error rate stayed inside the
+// recipe's budget, and no read ever returned corrupt bytes.
+func checkErrorBudget(ctx context.Context, e *Env) error {
+	s := e.Work.Stats()
+	if s.CorruptServes > 0 {
+		return fmt.Errorf("%d corrupt serve(s) — never acceptable", s.CorruptServes)
+	}
+	if s.Ops == 0 {
+		return fmt.Errorf("workload completed no operation")
+	}
+	if s.ErrorRate > e.Cfg.ErrorBudget {
+		return fmt.Errorf("error rate %.3f (%d/%d ops, last: %s) exceeds budget %.3f",
+			s.ErrorRate, s.Errors, s.Ops, s.LastError, e.Cfg.ErrorBudget)
+	}
+	return nil
+}
+
+// pollCondition re-evaluates a condition until it passes or the
+// deadline lapses, returning the result and the time it took.
+func pollCondition(ctx context.Context, e *Env, c Condition, deadline time.Duration) ConditionResult {
+	start := time.Now()
+	var last error
+	for {
+		cctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		last = c.Check(cctx, e)
+		cancel()
+		if last == nil {
+			return ConditionResult{Name: c.Name, Passed: true, WaitS: time.Since(start).Seconds()}
+		}
+		if time.Since(start) > deadline || ctx.Err() != nil {
+			return ConditionResult{Name: c.Name, Passed: false, Error: last.Error(), WaitS: time.Since(start).Seconds()}
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Recipe is one named fault scenario. Run injects faults while the
+// workload is live; the engine judges the aftermath with the standard
+// conditions afterwards, so a recipe only returns an error when the
+// *harness* failed (a node that refuses to restart, no blob to
+// corrupt) — invariant violations are the conditions' verdict.
+type Recipe struct {
+	Name        string
+	Description string
+	// ErrorBudget is the default client error-rate budget; kill-style
+	// recipes tolerate more than pure I/O ones.
+	ErrorBudget float64
+	Run         func(ctx context.Context, e *Env) error
+}
+
+var recipes = map[string]Recipe{}
+
+func register(r Recipe) { recipes[r.Name] = r }
+
+// Lookup finds a recipe by name.
+func Lookup(name string) (Recipe, bool) {
+	r, ok := recipes[name]
+	return r, ok
+}
+
+// Names lists the registered recipes, sorted.
+func Names() []string {
+	out := make([]string, 0, len(recipes))
+	for n := range recipes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	register(Recipe{
+		Name:        "nodekill",
+		Description: "SIGKILL one node under traffic; expect failover, then read-repair back to R replicas after restart",
+		ErrorBudget: 0.25,
+		Run:         runNodeKill,
+	})
+	register(Recipe{
+		Name:        "diskfull",
+		Description: "inject disk write failures on one node; expect gateway failover (5xx-driven), not client 400s",
+		ErrorBudget: 0.10,
+		Run:         runDiskFull,
+	})
+	register(Recipe{
+		Name:        "corruptblob",
+		Description: "flip bytes in an on-disk blob, restart the node; expect quarantine plus re-repair, never a corrupt serve",
+		ErrorBudget: 0.25,
+		Run:         runCorruptBlob,
+	})
+	register(Recipe{
+		Name:        "churn",
+		Description: "repeated kill/restart cycles across nodes under sustained traffic",
+		ErrorBudget: 0.30,
+		Run:         runChurn,
+	})
+}
+
+// victim picks the node carrying the most acked blobs (so the fault
+// actually bites), falling back to the last node.
+func victim(ctx context.Context, e *Env) Node {
+	best := e.Fleet.Nodes[len(e.Fleet.Nodes)-1]
+	bestBlobs := -1
+	for _, n := range e.Fleet.Nodes {
+		if !n.Alive() {
+			continue
+		}
+		blobs, err := n.Client().ListVBSCtx(ctx)
+		if err != nil {
+			continue
+		}
+		if len(blobs) > bestBlobs {
+			best, bestBlobs = n, len(blobs)
+		}
+	}
+	return best
+}
+
+func runNodeKill(ctx context.Context, e *Env) error {
+	v := victim(ctx, e)
+	if err := e.KillNode(v); err != nil {
+		return err
+	}
+	// Traffic runs against the degraded fleet: reads must fail over,
+	// loads must land on surviving owners.
+	Sleep(ctx, e.Cfg.FaultPhase)
+	if err := e.RestartNode(v); err != nil {
+		return err
+	}
+	// Post-restart traffic drives the reads whose repair sweeps heal
+	// any replica the dead node missed.
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+	return nil
+}
+
+func runDiskFull(ctx context.Context, e *Env) error {
+	v := victim(ctx, e)
+	if err := e.ArmFaults(ctx, v, server.ChaosFaults{FailPuts: true}); err != nil {
+		return err
+	}
+	// Every load routed to the victim now dies with 500 "cannot
+	// persist vbs" (store.ErrDisk) — the gateway must fail the task
+	// over to another owner, not bounce a 4xx to the client.
+	Sleep(ctx, e.Cfg.FaultPhase)
+	if err := e.ClearFaults(ctx, v); err != nil {
+		return err
+	}
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+	return nil
+}
+
+func runCorruptBlob(ctx context.Context, e *Env) error {
+	// Pick an acked digest that sits on some node's disk.
+	var target Node
+	var digest string
+	deadline := time.Now().Add(e.Cfg.FaultPhase)
+	for target == nil {
+		acked := e.Work.Acked()
+		for _, n := range e.Fleet.Nodes {
+			blobs, err := n.Client().ListVBSCtx(ctx)
+			if err != nil {
+				continue
+			}
+			for _, b := range blobs {
+				if _, ok := acked[b.Digest]; ok && b.Disk {
+					target, digest = n, b.Digest
+					break
+				}
+			}
+			if target != nil {
+				break
+			}
+		}
+		if target == nil {
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				return fmt.Errorf("no acked on-disk blob to corrupt")
+			}
+			Sleep(ctx, 100*time.Millisecond)
+		}
+	}
+	if err := e.CorruptBlob(target, digest); err != nil {
+		return err
+	}
+	// The node's RAM tier may still hold the healthy copy, so the rot
+	// is only observable after a restart: kill -9, restart, and let
+	// the boot recovery scan quarantine the bad file. Gateway reads
+	// must keep serving the digest byte-identical from the other
+	// replica throughout, and read-repair must restore R afterwards.
+	if err := e.KillNode(target); err != nil {
+		return err
+	}
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+	if err := e.RestartNode(target); err != nil {
+		return err
+	}
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+	// Harness sanity: the scan must have quarantined the corrupt file.
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	st, err := target.Client().StatsCtx(cctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("stats of %s after restart: %w", target.Name(), err)
+	}
+	if st.Repo.Quarantined == 0 {
+		return fmt.Errorf("%s quarantined nothing after corrupting %.12s", target.Name(), digest)
+	}
+	e.recordFault("%s quarantined %d blob(s) at boot", target.Name(), st.Repo.Quarantined)
+	return nil
+}
+
+func runChurn(ctx context.Context, e *Env) error {
+	cycles := 4
+	if e.Cfg.Short {
+		cycles = 2
+	}
+	for i := 0; i < cycles && ctx.Err() == nil; i++ {
+		n := e.Fleet.Nodes[i%len(e.Fleet.Nodes)]
+		if err := e.KillNode(n); err != nil {
+			return err
+		}
+		Sleep(ctx, e.Cfg.FaultPhase/2)
+		if err := e.RestartNode(n); err != nil {
+			return err
+		}
+		Sleep(ctx, e.Cfg.FaultPhase/2)
+	}
+	return nil
+}

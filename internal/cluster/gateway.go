@@ -70,14 +70,17 @@ type Gateway struct {
 	fabCounts map[string]int // node -> fabric pool size (static per node boot)
 
 	// repairs tracks in-flight asynchronous read-repairs so Stop can
-	// drain them (and tests can observe completion).
-	repairs sync.WaitGroup
+	// drain them (and tests can observe completion); repairing dedups
+	// concurrent owner-verification sweeps per digest.
+	repairs   sync.WaitGroup
+	repairing sync.Map
 
 	proxied          atomic.Uint64
 	replicated       atomic.Uint64
 	replicationFails atomic.Uint64
 	failovers        atomic.Uint64
 	readRepairs      atomic.Uint64
+	repairChecks     atomic.Uint64
 	scatterFallbacks atomic.Uint64
 	scatters         atomic.Uint64
 }
@@ -443,6 +446,13 @@ func (g *Gateway) handleLoad(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "cluster: no node reachable for load")
 			return
 		}
+		// Transport-only failures mean every candidate node is down:
+		// 503 (retryable outage), not a generic 502.
+		if server.StatusCode(lastErr) == 0 {
+			writeError(w, http.StatusServiceUnavailable,
+				"cluster: no node reachable for load: %v", lastErr)
+			return
+		}
 		writeUpstream(w, lastErr)
 		return
 	}
@@ -754,20 +764,14 @@ func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 	g.proxied.Add(1)
 
 	serve := func(data []byte, from string) {
-		// Read-repair: a hit anywhere but the primary means some
-		// owner is missing the blob (replica loss, out-of-band
-		// import). Heal the set off the reply path — a degraded read
-		// must not pay a full-blob replication fan-out in latency.
-		// The repair gets its own context: the request's dies with
-		// this handler (each replicate call is hop-bounded).
-		if from != primary {
-			g.readRepairs.Add(1)
-			g.repairs.Add(1)
-			go func() {
-				defer g.repairs.Done()
-				g.replicate(context.Background(), data, g.ring.Lookup(d, g.replicas), from)
-			}()
-		}
+		// Read-repair: every successful read schedules an asynchronous
+		// owner-verification sweep off the reply path — a degraded read
+		// must not pay a HEAD fan-out or full-blob replication in
+		// latency. Verifying all owners (not just "served from
+		// non-primary") is what heals a *secondary* replica loss: the
+		// primary keeps answering, so only an explicit check notices
+		// the set is degraded.
+		g.scheduleRepair(d, data, from)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 		_, _ = w.Write(data)
@@ -807,10 +811,81 @@ func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if lastErr != nil {
+		// A transport-only failure tail means every replica is down:
+		// say so with 503 (retryable outage), not a generic 502.
+		if server.StatusCode(lastErr) == 0 {
+			writeError(w, http.StatusServiceUnavailable,
+				"cluster: no replica of %s reachable: %v", d.Short(), lastErr)
+			return
+		}
 		writeUpstream(w, lastErr)
 		return
 	}
 	writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
+}
+
+// scheduleRepair launches one asynchronous owner-verification sweep
+// for a digest just served from `from`, deduplicating concurrent
+// sweeps per digest.
+func (g *Gateway) scheduleRepair(d repo.Digest, data []byte, from string) {
+	key := d.String()
+	if _, busy := g.repairing.LoadOrStore(key, struct{}{}); busy {
+		return
+	}
+	g.repairs.Add(1)
+	go func() {
+		defer g.repairs.Done()
+		defer g.repairing.Delete(key)
+		g.repairOwners(d, data, from)
+	}()
+}
+
+// repairOwners checks every alive owner of d holds a copy (a HEAD per
+// owner) and re-replicates to the ones that do not. Before healing it
+// anchor-checks that the node the blob was just served from still
+// holds it: if a concurrent DELETE raced the sweep, re-putting would
+// resurrect a deleted blob. Runs off the request path with its own
+// hop-bounded contexts.
+func (g *Gateway) repairOwners(d repo.Digest, data []byte, from string) {
+	g.repairChecks.Add(1)
+	var missing []string
+	for _, n := range g.ring.Lookup(d, g.replicas) {
+		if n == from || !g.reg.Alive(n) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), g.hop)
+		ok, err := g.reg.Client(n).HasVBS(ctx, d.String())
+		cancel()
+		g.observe(n, err)
+		if err == nil && !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.hop)
+	ok, err := g.reg.Client(from).HasVBS(ctx, d.String())
+	cancel()
+	g.observe(from, err)
+	if err != nil || !ok {
+		return
+	}
+	res := scatter(context.Background(), g, missing, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
+		return c.PutVBS(ctx, data)
+	})
+	healed := false
+	for _, r := range res {
+		if r.err != nil {
+			g.replicationFails.Add(1)
+		} else {
+			g.replicated.Add(1)
+			healed = true
+		}
+	}
+	if healed {
+		g.readRepairs.Add(1)
+	}
 }
 
 // handleDeleteVBS drops a blob from every reachable node. The
@@ -926,6 +1001,7 @@ type ClusterStats struct {
 	ReplicationFailed uint64 `json:"replication_failed"`
 	Failovers         uint64 `json:"failovers"`
 	ReadRepairs       uint64 `json:"read_repairs"`
+	RepairChecks      uint64 `json:"repair_checks"`
 	ScatterFallbacks  uint64 `json:"scatter_fallbacks"`
 	Scatters          uint64 `json:"scatters"`
 }
@@ -1019,6 +1095,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Cluster.ReplicationFailed = g.replicationFails.Load()
 	out.Cluster.Failovers = g.failovers.Load()
 	out.Cluster.ReadRepairs = g.readRepairs.Load()
+	out.Cluster.RepairChecks = g.repairChecks.Load()
 	out.Cluster.ScatterFallbacks = g.scatterFallbacks.Load()
 	out.Cluster.Scatters = g.scatters.Load()
 	writeJSON(w, http.StatusOK, out)

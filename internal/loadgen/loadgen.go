@@ -1,0 +1,64 @@
+// Package loadgen compiles small random designs into VBS containers
+// matched to a target fabric's parameters. It is the task factory
+// shared by the vbsload benchmark driver and the chaos workload: both
+// need a stream of distinct, valid containers that pay the real
+// place/route/encode path without dominating the run.
+package loadgen
+
+import (
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/rrg"
+)
+
+// GenTask compiles a small random design (8 logic blocks on a 4x4
+// grid) to a VBS container for a fabric with channel width w and LUT
+// size k. The same seed always yields the same container.
+func GenTask(seed int64, w, k int) ([]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := &netlist.Design{Name: "loadgen", K: k}
+	var nets []netlist.NetID
+	for i := 0; i < 4; i++ {
+		_, n := d.AddInputPad("pi")
+		nets = append(nets, n)
+	}
+	for i := 0; i < 8; i++ {
+		nin := rng.Intn(3) + 1
+		ins := make([]netlist.NetID, nin)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		truth := bits.NewVec(1 << k)
+		for b := 0; b < 1<<k; b++ {
+			truth.Set(b, rng.Intn(2) == 0)
+		}
+		_, n := d.AddLogicBlock("lb", ins, truth, false)
+		nets = append(nets, n)
+	}
+	for i := 0; i < 4; i++ {
+		d.AddOutputPad("po", nets[len(nets)-1-i])
+	}
+	pl, err := place.Place(d, arch.GridForSize(4), place.Options{Seed: seed, InnerNum: 1, FastExit: true})
+	if err != nil {
+		return nil, err
+	}
+	gr, err := rrg.Build(arch.Params{W: w, K: k}, pl.Grid)
+	if err != nil {
+		return nil, err
+	}
+	res, err := route.Route(d, pl, gr, route.Options{})
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := core.Encode(d, pl, res, core.EncodeOptions{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	return v.Encode()
+}

@@ -1,0 +1,61 @@
+package repo
+
+import "errors"
+
+// ErrInjected marks a failure produced by the fault-injection seam,
+// never by real I/O. Callers treat it exactly like the disk error it
+// stands in for; tests and chaos recipes match it to prove a failure
+// was the one they scheduled.
+var ErrInjected = errors.New("repo: injected fault")
+
+// Faults is the injectable I/O fault seam of a repository. Tests and
+// chaos recipes use it to force the error paths real disks only take
+// under ENOSPC, torn writes or bit rot — deterministically:
+//
+//   - FailPuts makes PutDigest fail before staging any bytes, the
+//     shape of a full or read-only disk. The store layer surfaces it
+//     as store.ErrDisk, which a cluster gateway fails over on.
+//   - FailReads makes Get fail as if the underlying file read
+//     errored. The blob stays indexed (the data is presumed intact).
+//   - CorruptReads flips a payload byte after the file is read,
+//     driving the CRC-mismatch verification path: the blob is
+//     quarantined and never served.
+//   - ShortReads truncates the payload after the file is read,
+//     driving the truncation verification path (same quarantine).
+//
+// Note that CorruptReads and ShortReads corrupt the bytes *read*, not
+// the file: the quarantine that follows moves a healthy file aside.
+// That is the point — the repository must behave as if the disk
+// rotted, and the observable contract (error out, count, never serve
+// corrupt bytes) is what is under test. Injected faults only apply to
+// Get; the Open recovery scan always sees the disk as it is.
+type Faults struct {
+	FailPuts     bool `json:"fail_puts"`
+	FailReads    bool `json:"fail_reads"`
+	CorruptReads bool `json:"corrupt_reads"`
+	ShortReads   bool `json:"short_reads"`
+}
+
+// Any reports whether at least one fault is armed.
+func (f Faults) Any() bool {
+	return f.FailPuts || f.FailReads || f.CorruptReads || f.ShortReads
+}
+
+// SetFaults arms (or, with the zero value, clears) the repository's
+// fault-injection seam. Safe to call concurrently with operations;
+// each operation reads the seam once at its start.
+func (r *Repo) SetFaults(f Faults) {
+	if !f.Any() {
+		r.faults.Store(nil)
+		return
+	}
+	r.faults.Store(&f)
+}
+
+// Faults returns the currently armed faults (zero when clear).
+func (r *Repo) Faults() Faults {
+	if f := r.faults.Load(); f != nil {
+		return *f
+	}
+	return Faults{}
+}

@@ -46,6 +46,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Digest is the SHA-256 content address of a VBS container.
@@ -132,6 +133,11 @@ type Stats struct {
 	// later verification failures.
 	Recovered   int `json:"recovered"`
 	Quarantined int `json:"quarantined"`
+	// WriteErrors and ReadErrors count failed Puts and failed
+	// non-corrupt Gets (corrupt reads count under Quarantined),
+	// including failures forced through the fault-injection seam.
+	WriteErrors uint64 `json:"write_errors"`
+	ReadErrors  uint64 `json:"read_errors"`
 }
 
 // BlobStat describes one stored blob in List.
@@ -154,7 +160,13 @@ type Repo struct {
 	scan        ScanReport
 	reads       uint64
 	writes      uint64
+	writeErrors uint64
+	readErrors  uint64
 	quarantined int // scan + runtime verification failures
+
+	// faults is the injectable I/O fault seam (see Faults); nil means
+	// no faults armed — the only state real deployments ever see.
+	faults atomic.Pointer[Faults]
 }
 
 // Open roots a repository at dir, creating the directory tree when
@@ -198,8 +210,16 @@ func (r *Repo) ScanReport() ScanReport {
 
 // blobPath returns <dir>/aa/bb/<digest>.vbs.
 func (r *Repo) blobPath(d Digest) string {
+	return BlobPath(r.dir, d)
+}
+
+// BlobPath returns the on-disk path of a digest's blob file under a
+// repository root — <dir>/aa/bb/<digest>.vbs. Exported for tooling
+// (e.g. chaos blob corruption) that must name a repository file
+// without opening the repository.
+func BlobPath(dir string, d Digest) string {
 	hx := d.String()
-	return filepath.Join(r.dir, hx[:2], hx[2:4], hx+blobExt)
+	return filepath.Join(dir, hx[:2], hx[2:4], hx+blobExt)
 }
 
 // recover walks the shard tree, indexing valid blobs, quarantining
@@ -276,11 +296,40 @@ func (r *Repo) quarantine(path string) {
 // address computed from the payload (the caller compares it against
 // the file name / requested digest).
 func readBlob(path string) (Digest, []byte, error) {
-	var d Digest
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return d, nil, err
+		return Digest{}, nil, err
 	}
+	return verifyBlob(path, raw)
+}
+
+// readBlobFaulty is readBlob with the fault-injection seam applied to
+// the bytes just read — the Get path. The recovery scan deliberately
+// bypasses it: injected faults model a rotting serve path, not a
+// different disk at boot.
+func (r *Repo) readBlobFaulty(path string) (Digest, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Digest{}, nil, err
+	}
+	if f := r.faults.Load(); f != nil {
+		if f.FailReads {
+			return Digest{}, nil, fmt.Errorf("repo: read %s: %w", filepath.Base(path), ErrInjected)
+		}
+		if f.ShortReads && len(raw) > headerSize {
+			raw = raw[:headerSize+(len(raw)-headerSize)/2]
+		}
+		if f.CorruptReads && len(raw) > headerSize {
+			raw[len(raw)-1] ^= 0xff
+		}
+	}
+	return verifyBlob(path, raw)
+}
+
+// verifyBlob parses raw blob-file bytes, checking header, length and
+// CRC, and returns the payload's content address.
+func verifyBlob(path string, raw []byte) (Digest, []byte, error) {
+	var d Digest
 	if len(raw) < headerSize || string(raw[:4]) != blobMagic {
 		return d, nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, filepath.Base(path))
 	}
@@ -312,6 +361,16 @@ func (r *Repo) Put(data []byte) (Digest, bool, error) {
 // already computed (it must be DigestOf(data); reads verify it). The
 // write is atomic: temp file → fsync → rename → fsync directory.
 func (r *Repo) PutDigest(d Digest, data []byte) (existed bool, err error) {
+	existed, err = r.putDigest(d, data)
+	if err != nil && !errors.Is(err, ErrReadOnly) {
+		r.mu.Lock()
+		r.writeErrors++
+		r.mu.Unlock()
+	}
+	return existed, err
+}
+
+func (r *Repo) putDigest(d Digest, data []byte) (existed bool, err error) {
 	if r.ro {
 		return false, ErrReadOnly
 	}
@@ -320,6 +379,9 @@ func (r *Repo) PutDigest(d Digest, data []byte) (existed bool, err error) {
 	r.mu.RUnlock()
 	if ok {
 		return true, nil
+	}
+	if f := r.faults.Load(); f != nil && f.FailPuts {
+		return false, fmt.Errorf("repo: write %s: %w", d.Short(), ErrInjected)
 	}
 
 	final := r.blobPath(d)
@@ -392,13 +454,17 @@ func (r *Repo) Get(d Digest) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	path := r.blobPath(d)
-	got, payload, err := readBlob(path)
+	got, payload, err := r.readBlobFaulty(path)
 	if err == nil && got != d {
 		err = fmt.Errorf("%w: content is %s, expected %s", ErrCorrupt, got.Short(), d.Short())
 	}
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			r.dropCorrupt(d, path)
+		} else {
+			r.mu.Lock()
+			r.readErrors++
+			r.mu.Unlock()
 		}
 		return nil, err
 	}
@@ -493,6 +559,8 @@ func (r *Repo) Stats() Stats {
 		Writes:      r.writes,
 		Recovered:   r.scan.Recovered,
 		Quarantined: r.quarantined,
+		WriteErrors: r.writeErrors,
+		ReadErrors:  r.readErrors,
 	}
 }
 

@@ -252,6 +252,35 @@ func (c *Client) GetVBSCtx(ctx context.Context, digest string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// HasVBS reports whether the node holds a blob, via a HEAD that moves
+// no payload (Go's ServeMux "GET /vbs/{digest}" pattern also matches
+// HEAD). Used by the gateway's read-repair owner verification.
+func (c *Client) HasVBS(ctx context.Context, digest string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.base+"/vbs/"+digest, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return false, nil
+	case resp.StatusCode >= 300:
+		return false, readAPIError(resp)
+	}
+	return true, nil
+}
+
+// SetFaults arms (or, with the zero value, clears) the node's disk
+// fault-injection seam. The node must run with chaos endpoints
+// enabled (vbsd -chaos) and a data dir.
+func (c *Client) SetFaults(ctx context.Context, f ChaosFaults) error {
+	return c.do(ctx, http.MethodPost, "/chaos/faults", f, nil)
+}
+
 // DeleteVBS drops a stored blob from both tiers. The daemon refuses
 // (409) while any live task references the digest.
 func (c *Client) DeleteVBS(digest string) error {

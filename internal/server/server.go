@@ -81,6 +81,10 @@ type Options struct {
 	// is rejected with 413 before being buffered in full. 0 selects
 	// DefaultMaxBodyBytes; negative disables the limit.
 	MaxBodyBytes int64
+	// EnableChaos registers the /chaos/faults endpoints, which arm the
+	// disk tier's fault-injection seam over HTTP. For chaos testing
+	// only — never enable on a production daemon.
+	EnableChaos bool
 }
 
 // DefaultMaxBodyBytes is the request-body bound applied when
@@ -98,6 +102,7 @@ type Server struct {
 	workers int
 	policy  sched.Policy
 	maxBody int64
+	chaos   bool
 	start   time.Time
 
 	mu     sync.Mutex
@@ -156,6 +161,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 		workers: opts.DecodeWorkers,
 		policy:  pol,
 		maxBody: maxBody,
+		chaos:   opts.EnableChaos,
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
 		pending: make(map[store.Digest]int),
@@ -179,7 +185,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.chaos {
+		mux.HandleFunc("POST /chaos/faults", s.handleSetFaults)
+		mux.HandleFunc("GET /chaos/faults", s.handleGetFaults)
+	}
 	return mux
+}
+
+// handleSetFaults arms (or clears, with all-false) the disk tier's
+// fault-injection seam. Registered only with Options.EnableChaos.
+func (s *Server) handleSetFaults(w http.ResponseWriter, r *http.Request) {
+	disk := s.store.Disk()
+	if disk == nil {
+		writeError(w, http.StatusConflict, "no disk tier: faults need -data-dir")
+		return
+	}
+	var f ChaosFaults
+	if !s.decodeBody(w, r, &f) {
+		return
+	}
+	disk.SetFaults(repo.Faults(f))
+	writeJSON(w, http.StatusOK, f)
+}
+
+func (s *Server) handleGetFaults(w http.ResponseWriter, r *http.Request) {
+	disk := s.store.Disk()
+	if disk == nil {
+		writeError(w, http.StatusConflict, "no disk tier: faults need -data-dir")
+		return
+	}
+	writeJSON(w, http.StatusOK, ChaosFaults(disk.Faults()))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -767,6 +802,8 @@ func (s *Server) Stats() StatsResponse {
 		ri.Quarantined = ds.Quarantined
 		ri.Reads = ds.Reads
 		ri.Writes = ds.Writes
+		ri.WriteErrors = ds.WriteErrors
+		ri.ReadErrors = ds.ReadErrors
 	}
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),

@@ -150,7 +150,7 @@ func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
 	if s.disk != nil {
 		de, err := s.disk.PutDigest(d, ent.Data)
 		if err != nil {
-			return nil, false, fmt.Errorf("%w: %v", ErrDisk, err)
+			return nil, false, fmt.Errorf("%w: %w", ErrDisk, err)
 		}
 		diskExisted = de
 	}

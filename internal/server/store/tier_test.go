@@ -335,3 +335,33 @@ func TestFlushPersistsRAMOnlyBlobs(t *testing.T) {
 		t.Fatalf("Flush did not persist the blob: %v", err)
 	}
 }
+
+// TestTieredPutDiskFaultIsErrDisk: an injected repo write fault must
+// surface as ErrDisk — the signal the HTTP layer maps to 500 and a
+// cluster gateway fails over on — and clear once the fault is gone.
+func TestTieredPutDiskFaultIsErrDisk(t *testing.T) {
+	disk := newDisk(t)
+	s := NewTiered(0, disk)
+	disk.SetFaults(repo.Faults{FailPuts: true})
+
+	data := testVBS(t, 2)
+	_, _, err := s.Put(data)
+	if !errors.Is(err, ErrDisk) {
+		t.Fatalf("Put with FailPuts: err=%v, want ErrDisk", err)
+	}
+	if !errors.Is(err, repo.ErrInjected) {
+		t.Fatalf("Put error should wrap the injected cause: %v", err)
+	}
+	if st := disk.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("disk stats: %+v, want WriteErrors=1", st)
+	}
+
+	disk.SetFaults(repo.Faults{})
+	ent, _, err := s.Put(data)
+	if err != nil {
+		t.Fatalf("Put after clearing faults: %v", err)
+	}
+	if !disk.Has(ent.Digest) {
+		t.Fatal("blob did not reach disk after faults cleared")
+	}
+}

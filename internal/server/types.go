@@ -145,6 +145,20 @@ type RepoInfo struct {
 	// disk since boot.
 	Reads  uint64 `json:"reads"`
 	Writes uint64 `json:"writes"`
+	// WriteErrors / ReadErrors count failed disk puts and failed
+	// non-corrupt disk gets (corrupt reads count under Quarantined).
+	WriteErrors uint64 `json:"write_errors"`
+	ReadErrors  uint64 `json:"read_errors"`
+}
+
+// ChaosFaults mirrors repo.Faults on the wire for the /chaos/faults
+// endpoints (registered only with Options.EnableChaos). Field-for-
+// field identical so handlers can convert between them directly.
+type ChaosFaults struct {
+	FailPuts     bool `json:"fail_puts"`
+	FailReads    bool `json:"fail_reads"`
+	CorruptReads bool `json:"corrupt_reads"`
+	ShortReads   bool `json:"short_reads"`
 }
 
 // VBSInfo describes one stored blob in GET /vbs.

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Cluster smoke test: prove the vbsgw sharded-serving loop end-to-end
-# against three real vbsd nodes and a hard kill.
+# against three real vbsd nodes.
 #
 #   1. generate distinct VBS tasks with the offline flow
 #   2. import one of them into a node's data dir with vbsrepo
@@ -10,10 +10,11 @@
 #      on exactly its replica set
 #   5. download every digest through the gateway, byte-compare
 #      (this read-repairs the imported blob onto its ring owners)
-#   6. SIGKILL one node; every digest must still serve byte-identical
-#      through gateway failover
-#   7. drive a concurrent load/get/unload mix at the gateway with
-#      vbsload as a serve-path sanity check
+#   6. drive a concurrent load/get/unload mix at the gateway with
+#      vbsload under a strict error budget
+#
+# Kill/failover coverage lives in scripts/chaos_smoke.sh (the chaos
+# harness nodekill and corruptblob recipes), not here.
 #
 # Run from the repository root: ./scripts/cluster_smoke.sh
 set -euo pipefail
@@ -106,22 +107,6 @@ for i in 1 2 3 4; do
   cmp "$work/task$i.vbs" "$work/rt$i.vbs"
 done
 
-echo "== SIGKILL node 2"
-kill -9 "${pids[1]}"
-wait "${pids[1]}" 2>/dev/null || true
-
-echo "== every digest still serves byte-identical via failover"
-for i in 1 2 3 4; do
-  d=${digests[$((i - 1))]}
-  curl -fsS "http://$gwaddr/vbs/$d" -o "$work/ft$i.vbs"
-  cmp "$work/task$i.vbs" "$work/ft$i.vbs"
-  sum=$(sha256sum "$work/ft$i.vbs" | cut -d' ' -f1)
-  if [ "$sum" != "$d" ]; then
-    echo "FAIL: post-kill bytes hash to $sum, expected $d" >&2
-    exit 1
-  fi
-done
-
 echo "== cluster stats block"
 stats=$(curl -fsS "http://$gwaddr/stats")
 case "$stats" in
@@ -133,8 +118,9 @@ case "$stats" in
   *) echo "FAIL: /stats cluster block missing ring_version" >&2; exit 1 ;;
 esac
 
-echo "== vbsload mix against the degraded cluster"
-"$work/bin/vbsload" -url "http://$gwaddr" -ops 60 -workers 4 -tasks 2 -mix 30:50:20
+echo "== vbsload mix against the cluster, strict error budget"
+"$work/bin/vbsload" -url "http://$gwaddr" -ops 60 -workers 4 -tasks 2 \
+  -mix 30:50:20 -max-error-rate 0.05
 
 echo "== graceful gateway shutdown"
 kill "$gwpid"
