@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-serve persist-smoke cluster-smoke chaos-smoke chaos-soak
+.PHONY: all build test lint race bench bench-smoke bench-serve persist-smoke cluster-smoke chaos-smoke chaos-soak
 
 all: build test
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# lint runs cmd/vbslint — the in-repo invariant analyzers (errwrap,
+# ctxclient, poolescape, lockio, atomicfaults) plus go vet — over the
+# whole tree, tests included; staticcheck rides along when installed.
+lint:
+	$(GO) run ./cmd/vbslint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
 race:
 	$(GO) test -race ./internal/server/... ./internal/repo/ ./internal/cluster/ ./internal/chaos/ ./internal/controller/ ./internal/sched/ ./internal/core/ ./internal/devirt/

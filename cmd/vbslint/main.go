@@ -1,0 +1,103 @@
+// Command vbslint runs this repository's invariant analyzers — the
+// suite under internal/analysis — over the module, together with
+// go vet, and exits non-zero on any finding. It is the single lint
+// entry point: `make lint` and the CI lint job both run it, so the
+// invariant set is versioned in-repo and changes with the code it
+// checks.
+//
+// Usage:
+//
+//	vbslint [flags] [packages]
+//
+// With no package patterns, ./... is linted. Findings print one per
+// line, compiler-style:
+//
+//	internal/controller/controller.go:431:52: error argument formatted with %v in fmt.Errorf; ... (errwrap)
+//
+// Suppress a deliberate violation at its line (or the line above)
+// with a directive naming the analyzers and a reason:
+//
+//	//vbslint:ignore errwrap rendered for humans, never matched
+//
+// Exit status: 0 clean, 1 findings (or vet failures), 2 internal
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, factored for the smoke tests: args are the command
+// line minus the program name, and the exit status is returned
+// instead of passed to os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vbslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	tests := fs.Bool("tests", true, "also analyze test packages")
+	vet := fs.Bool("vet", true, "also run go vet over the same patterns")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vbslint [flags] [packages]\n\nRuns the repro invariant analyzers (and go vet) over the module.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := driver.Load(*dir, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "vbslint: %v\n", err)
+		return 2
+	}
+	findings, err := driver.Run(pkgs, suite.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "vbslint: %v\n", err)
+		return 2
+	}
+	base, _ := filepath.Abs(*dir)
+	for _, f := range findings {
+		if rel, err := filepath.Rel(base, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, f)
+	}
+
+	bad := len(findings) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = *dir
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

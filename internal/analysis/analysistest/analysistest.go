@@ -1,0 +1,212 @@
+// Package analysistest runs a vbslint analyzer over golden-file
+// fixtures, checking its diagnostics against `// want` comments — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, built
+// on the internal/analysis/driver loader.
+//
+// Fixtures live under testdata/src/<pkg>/ next to the test. Every
+// line that must trigger a diagnostic carries a trailing comment with
+// one or more quoted regular expressions:
+//
+//	_ = fmt.Errorf("load: %v", err) // want `formats error .* with %v`
+//
+// A diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test. Lines without want comments are the
+// negative fixtures: the analyzer must stay silent on them.
+//
+// Because fixtures are type-checked against this module's own export
+// index, they may import repro packages (repro/internal/server,
+// repro/internal/devirt, ...) and any standard-library package the
+// module already depends on — so an invariant about a real API is
+// tested against that API, not a mock of it.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// TestData returns the absolute path of the shared fixture root,
+// internal/analysis/testdata, resolved relative to the calling test's
+// working directory (the analyzer's package directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := filepath.Abs(filepath.Join(wd, "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *driver.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one export index per test process, rooted at
+// the module directory (found by walking up to go.mod).
+func sharedLoader() (*driver.Loader, error) {
+	loaderOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		for {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				loaderErr = fmt.Errorf("analysistest: no go.mod above working directory")
+				return
+			}
+			dir = parent
+		}
+		loaderVal, _, loaderErr = driver.NewLoader(dir, false, "./...")
+	})
+	return loaderVal, loaderErr
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, runs
+// the analyzer over it, and reports any mismatch between diagnostics
+// and want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("fixture package %s: %v", name, err)
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, e.Name())
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("fixture package %s: no .go files", name)
+		}
+		pkg, err := ld.Check(name, dir, files, nil)
+		if err != nil {
+			t.Fatalf("fixture package %s: %v", name, err)
+		}
+		findings, err := driver.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("fixture package %s: %v", name, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	pos token.Position // position of the comment
+	re  *regexp.Regexp
+	hit bool
+}
+
+// parseWants extracts want expectations from a fixture package.
+func parseWants(t *testing.T, pkg *driver.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					var lit string
+					switch rest[0] {
+					case '`':
+						end := strings.IndexByte(rest[1:], '`')
+						if end < 0 {
+							t.Fatalf("%s: unterminated want pattern", pos)
+						}
+						lit = rest[1 : 1+end]
+						rest = strings.TrimSpace(rest[2+end:])
+					case '"':
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern: %v", pos, err)
+						}
+						unq, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern: %v", pos, err)
+						}
+						lit = unq
+						rest = strings.TrimSpace(rest[len(q):])
+					default:
+						t.Fatalf("%s: want patterns must be quoted or backquoted, got %q", pos, rest)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches findings against wants line by line.
+func checkWants(t *testing.T, pkg *driver.Package, findings []driver.Finding) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	byLine := make(map[string][]*want)
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, w := range wants {
+		k := key(w.pos.Filename, w.pos.Line)
+		byLine[k] = append(byLine[k], w)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range byLine[key(f.Pos.Filename, f.Pos.Line)] {
+			if !w.hit && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].pos.Filename != wants[j].pos.Filename {
+			return wants[i].pos.Filename < wants[j].pos.Filename
+		}
+		return wants[i].pos.Line < wants[j].pos.Line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package atomicfaults enforces that struct fields with sync/atomic
+// types are touched only through their atomic methods.
+//
+// Fields like repo.Repo's faults arming pointer (atomic.Pointer
+// [Faults]) and the gateway's traffic counters are documented
+// atomic-only: every access must go through Load/Store/Add/Swap/
+// CompareAndSwap. Any other appearance of the field — copying it into
+// a variable, assigning over it, comparing it, passing it by value —
+// either tears the value out of the atomicity domain or races with
+// concurrent users, and go vet's copylocks only catches the subset
+// that copies. This analyzer flags every non-method access.
+package atomicfaults
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfaults analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfaults",
+	Doc:  "sync/atomic-typed field accessed without its atomic methods (Load/Store/Add/Swap/CompareAndSwap)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// First pass: selectors sanctioned as the receiver of an atomic
+		// method call or method value (x.field.Load(), x.field.Store).
+		allowed := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			outer, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[outer]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if inner, ok := outer.X.(*ast.SelectorExpr); ok && isAtomic(pass.TypeOf(inner)) {
+				allowed[inner] = true
+			}
+			return true
+		})
+		// Second pass: every other field selector of an atomic type.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			t := selection.Obj().Type()
+			if !isAtomic(t) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s has type %s and is atomic-only; access it through its atomic methods, never directly",
+				sel.Sel.Name, types.TypeString(t, nil))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomic reports whether t (or *t) is a sync/atomic type.
+func isAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package atomicfaults_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfaults"
+)
+
+func TestAtomicfaults(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicfaults.Analyzer, "atomicfaults")
+}

@@ -1,0 +1,108 @@
+// Package ctxclient flags calls to context-less server.Client
+// convenience wrappers from request-path packages.
+//
+// Every server.Client method has a *Ctx variant threading a
+// context.Context into the underlying HTTP exchange; the context-less
+// names exist for command-line tools and examples where Background is
+// genuinely right. On the data plane — the gateway's routing and
+// replication fan-outs, the chaos harness's recipe and condition
+// probes, the daemon's own handlers — calling the context-less form
+// drops cancellation: a client that hung up keeps consuming a node,
+// a recipe deadline stops propagating, shutdown stalls behind dead
+// peers. Tests count too: a hung exchange should die with its test's
+// deadline (use t.Context()).
+package ctxclient
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Packages lists the import-path prefixes treated as request-path
+// code. A package is in scope when its path (bracketed test-variant
+// suffixes stripped) equals a prefix, lives under it, or is its
+// external test package. Tests may append fixture paths.
+var Packages = []string{
+	"repro/internal/cluster",
+	"repro/internal/chaos",
+	"repro/internal/server",
+}
+
+// Analyzer is the ctxclient analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxclient",
+	Doc:  "context-less server.Client call on the request path; use the *Ctx variant and plumb the caller's context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			named := namedRecv(selection.Recv())
+			if named == nil || named.Obj().Pkg() == nil ||
+				named.Obj().Pkg().Path() != "repro/internal/server" || named.Obj().Name() != "Client" {
+				return true
+			}
+			m := selection.Obj().Name()
+			if strings.HasSuffix(m, "Ctx") || !hasMethod(named, m+"Ctx") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context-less server.Client.%s call in request-path package; use %sCtx and plumb the caller's context",
+				m, m)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// inScope reports whether a package path is request-path code.
+func inScope(path string) bool {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	for _, p := range Packages {
+		if path == p || strings.HasPrefix(path, p+"/") || path == p+"_test" {
+			return true
+		}
+	}
+	return false
+}
+
+// namedRecv unwraps a method receiver type to its named type.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// hasMethod reports whether *named's method set contains name.
+func hasMethod(named *types.Named, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

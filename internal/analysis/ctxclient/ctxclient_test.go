@@ -1,0 +1,16 @@
+package ctxclient_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxclient"
+)
+
+func TestCtxclient(t *testing.T) {
+	// The scoped fixture plays a request-path package; the unscoped one
+	// stays off the list and must be silent.
+	ctxclient.Packages = append(ctxclient.Packages, "ctxclient")
+	defer func() { ctxclient.Packages = ctxclient.Packages[:len(ctxclient.Packages)-1] }()
+	analysistest.Run(t, analysistest.TestData(t), ctxclient.Analyzer, "ctxclient", "ctxclient_unscoped")
+}

@@ -1,0 +1,356 @@
+// Package driver loads and type-checks this module's packages and
+// runs vbslint analyzers over them.
+//
+// The loader shells out to `go list -export -deps -json`, parses the
+// listed source files with go/parser, and type-checks them with
+// go/types against the compiled export data the go command already
+// produced — the same strategy golang.org/x/tools/go/packages uses,
+// reduced to what a single-module repository with no third-party
+// imports needs. Test packages (in-package variants and external
+// _test packages) are loaded when requested, so analyzers see the
+// whole tree CI compiles.
+//
+// Findings can be suppressed at the line that triggers them (or the
+// line above) with a directive comment naming the analyzers:
+//
+//	//vbslint:ignore errwrap this %v is deliberate: the error is logged, never matched
+//
+// A reason is required: a suppression without an argument is itself
+// a finding.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path as go list reports it; test variants
+	// keep their bracketed form (e.g. "p_test [p.test]").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Finding is one diagnostic that survived directive filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats a finding the way compilers do, with the analyzer
+// name appended: path:line:col: message (analyzer).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+}
+
+// A Target is one package selected for analysis by NewLoader.
+type Target struct {
+	// ImportPath is the path as go list reports it (test variants keep
+	// their bracketed form).
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	// ImportMap remaps source-level import paths for test variants.
+	ImportMap map[string]string
+}
+
+// A Loader type-checks source against the export index of one
+// `go list -export` run. It is not safe for concurrent use.
+type Loader struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // shared gc-export-data importer
+}
+
+// NewLoader runs `go list -export -deps -json` in dir over patterns
+// (plus their test packages when tests is set) and returns a loader
+// whose export index covers every listed dependency, together with
+// the non-dependency packages selected for analysis. Callers with
+// sources outside the module (fixtures) can type-check them against
+// the index with Check.
+func NewLoader(dir string, tests bool, patterns ...string) (*Loader, []Target, error) {
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,ForTest,ImportMap"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("driver: go list: %w\n%s", err, stderr.String())
+	}
+
+	ld := &Loader{fset: token.NewFileSet(), exports: make(map[string]string)}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var entries []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+		entries = append(entries, p)
+	}
+
+	// An in-package test variant "p [p.test]" contains p's files plus
+	// its _test.go files; analyzing the plain p too would double every
+	// finding in the shared files.
+	superseded := make(map[string]bool)
+	for _, p := range entries {
+		if p.ForTest != "" && strings.TrimSuffix(p.ImportPath, " ["+p.ForTest+".test]") == p.ForTest {
+			superseded[p.ForTest] = true
+		}
+	}
+	var targets []Target
+	for _, p := range entries {
+		switch {
+		case p.DepOnly, superseded[p.ImportPath]:
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			// The synthesized test-main package; its only file lives in
+			// the build cache and tests nothing of ours.
+		case len(p.GoFiles) == 0 || p.Dir == "":
+		default:
+			targets = append(targets, Target{
+				ImportPath: p.ImportPath,
+				Dir:        p.Dir,
+				GoFiles:    p.GoFiles,
+				ImportMap:  p.ImportMap,
+			})
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return ld, targets, nil
+}
+
+// Load loads, parses and type-checks the packages matched by patterns
+// in the module at dir. With tests set, in-package and external test
+// packages are included.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	ld, targets, err := NewLoader(dir, tests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := ld.Check(t.ImportPath, t.Dir, t.GoFiles, t.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// resolver adapts the shared gc importer to one package's ImportMap
+// (test variants remap some imports to their test builds).
+type resolver struct {
+	ld   *Loader
+	imap map[string]string
+}
+
+func (r resolver) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if m, ok := r.imap[path]; ok {
+		path = m
+	}
+	if _, ok := r.ld.exports[path]; !ok {
+		// A bracketed test variant with no export data of its own falls
+		// back to the plain package (no test-induced import cycles in
+		// this module).
+		if i := strings.Index(path, " ["); i >= 0 {
+			path = path[:i]
+		}
+	}
+	return r.ld.gc.Import(path)
+}
+
+// Check parses files (relative names are joined to dir) and
+// type-checks them as package path, resolving imports through imap
+// and then the loader's export index. Type errors are hard failures:
+// the tree under lint must compile.
+func (ld *Loader) Check(path, dir string, files []string, imap map[string]string) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		name := f
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, f)
+		}
+		af, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: resolver{ld: ld, imap: imap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, asts, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("driver: type-checking %s: %w (and %d more)", path, terrs[0], len(terrs)-1)
+	}
+	return &Package{Path: path, Fset: ld.fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// Run applies every analyzer to every package and returns the
+// findings that no //vbslint:ignore directive suppressed, sorted by
+// position. Malformed directives (no analyzer list, or no reason)
+// are returned as findings themselves.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup, bad := directives(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []analysis.Diagnostic
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.matches(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressions records, per file and line, which analyzers an ignore
+// directive names ("all" suppresses every analyzer).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) matches(analyzer string, pos token.Position) bool {
+	names := s[pos.Filename][pos.Line]
+	return names[analyzer] || names["all"]
+}
+
+const ignorePrefix = "vbslint:ignore"
+
+// directives scans a package's comments for //vbslint:ignore lines.
+// A directive suppresses named analyzers on its own line and the line
+// below (so it works both trailing and standalone).
+func directives(pkg *Package) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "vbslint",
+						Pos:      pos,
+						Message:  "malformed //vbslint:ignore: want analyzer name(s) and a reason",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup[pos.Filename] = lines
+				}
+				// The directive covers its own line and the next: a
+				// standalone comment suppresses the statement below it.
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					names := lines[l]
+					if names == nil {
+						names = make(map[string]bool)
+						lines[l] = names
+					}
+					for _, n := range strings.Split(fields[0], ",") {
+						names[n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,143 @@
+// Package errwrap flags fmt.Errorf calls that format an error
+// argument with %v, %s or %q instead of wrapping it with %w.
+//
+// Formatting flattens the error to text: errors.Is and errors.As can
+// no longer see the sentinel inside, so callers comparing against
+// store.ErrDisk, repo.ErrCorrupt, context.Canceled and friends
+// silently stop matching. This repository shipped exactly that bug —
+// the disk-tier wrap of store.ErrDisk used %v until PR 6, blinding
+// the gateway's errors.Is(err, store.ErrDisk) failover check.
+//
+// Since Go 1.20 fmt.Errorf accepts multiple %w verbs, so even
+// double-fault messages ("%w: %v / %v") have a wrapping form.
+// Deliberate flattening (an error rendered into a human-facing
+// message and never matched) is suppressed with
+// //vbslint:ignore errwrap <reason>.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errwrap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf formats an error with %v/%s/%q; use %w so errors.Is/errors.As can unwrap it",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(pass, call) || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			for _, v := range parseVerbs(constant.StringVal(tv.Value)) {
+				if v.letter != 'v' && v.letter != 's' && v.letter != 'q' {
+					continue
+				}
+				argIdx := v.arg + 1 // args[0] is the format string
+				if argIdx < 1 || argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				t := pass.TypeOf(arg)
+				if t == nil || !types.Implements(t, errorIface) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"error argument formatted with %%%c in fmt.Errorf; use %%w so errors.Is/errors.As can unwrap it",
+					v.letter)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFmtErrorf reports whether the call's callee is fmt.Errorf.
+func isFmtErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf"
+}
+
+// verb is one conversion in a format string and the operand index it
+// consumes (0-based, counting operands only).
+type verb struct {
+	letter byte
+	arg    int
+}
+
+// parseVerbs scans a fmt format string, tracking the operand index
+// through flags, *-widths and explicit [n] argument indexes.
+func parseVerbs(format string) []verb {
+	var out []verb
+	next := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			next++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				next++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) && format[i] == '[' {
+			end := strings.IndexByte(format[i:], ']')
+			if end < 0 {
+				break
+			}
+			if n, err := strconv.Atoi(format[i+1 : i+end]); err == nil {
+				next = n - 1
+			}
+			i += end + 1
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, verb{letter: format[i], arg: next})
+		next++
+		i++
+	}
+	return out
+}

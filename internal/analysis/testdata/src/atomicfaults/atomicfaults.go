@@ -1,0 +1,32 @@
+// Fixture for the atomicfaults analyzer: sync/atomic-typed fields may
+// only be touched through their atomic methods.
+package atomicfaults
+
+import "sync/atomic"
+
+type gauges struct {
+	hits  atomic.Uint64
+	state atomic.Pointer[gauges]
+	flag  atomic.Bool
+}
+
+func good(g *gauges) uint64 {
+	g.hits.Add(1)
+	g.flag.Store(true)
+	if p := g.state.Load(); p != nil {
+		_ = p
+	}
+	load := g.hits.Load
+	_ = load()
+	return g.hits.Load()
+}
+
+func bad(g *gauges) {
+	c := g.hits // want `atomic-only`
+	_ = c
+	g.state = atomic.Pointer[gauges]{} // want `atomic-only`
+	p := &g.flag                       // want `atomic-only`
+	p.Store(false)
+	//vbslint:ignore atomicfaults exercising the suppression path
+	_ = g.flag
+}

@@ -1,0 +1,30 @@
+// Fixture for the ctxclient analyzer: this package path is appended
+// to ctxclient.Packages by the test, so context-less server.Client
+// calls here are on the request path.
+package ctxclient
+
+import (
+	"context"
+
+	"repro/internal/server"
+)
+
+func bad(cl *server.Client) {
+	_, _ = cl.Tasks()        // want `context-less server\.Client\.Tasks`
+	_ = cl.Unload(1)         // want `context-less server\.Client\.Unload`
+	_, _ = cl.Stats()        // want `context-less server\.Client\.Stats`
+	_ = cl.DeleteVBS("abcd") // want `context-less server\.Client\.DeleteVBS`
+}
+
+func good(ctx context.Context, cl *server.Client) error {
+	if _, err := cl.TasksCtx(ctx); err != nil {
+		return err
+	}
+	if err := cl.UnloadCtx(ctx, 1); err != nil {
+		return err
+	}
+	_ = cl.Base()
+	//vbslint:ignore ctxclient boot-time probe; no caller context exists yet
+	_, _ = cl.Fabrics()
+	return cl.Health(ctx)
+}

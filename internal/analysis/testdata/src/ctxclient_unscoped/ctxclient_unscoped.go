@@ -1,0 +1,13 @@
+// Negative fixture for the ctxclient analyzer: this package path is
+// NOT in ctxclient.Packages, so the same context-less calls that fire
+// in the scoped fixture must be silent here (command-line tools and
+// examples are allowed Background-context convenience wrappers).
+package ctxclient_unscoped
+
+import "repro/internal/server"
+
+func allowedOffRequestPath(cl *server.Client) {
+	_, _ = cl.Tasks()
+	_ = cl.Unload(1)
+	_, _ = cl.Stats()
+}

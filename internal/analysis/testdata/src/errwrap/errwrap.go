@@ -1,0 +1,42 @@
+// Fixture for the errwrap analyzer: fmt.Errorf must wrap error
+// operands with %w, never flatten them with %v/%s/%q.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type opErr struct{ op string }
+
+func (e *opErr) Error() string { return e.op }
+
+func flattens(err, err2 error) {
+	_ = fmt.Errorf("load: %v", err)                                // want `formatted with %v`
+	_ = fmt.Errorf("load: %s", err)                                // want `formatted with %s`
+	_ = fmt.Errorf("load: %q", err)                                // want `formatted with %q`
+	_ = fmt.Errorf("load: %+v", err)                               // want `formatted with %v`
+	_ = fmt.Errorf("task %d: %v", 3, err)                          // want `formatted with %v`
+	_ = fmt.Errorf("%[2]v after %[1]d", 3, err)                    // want `formatted with %v`
+	_ = fmt.Errorf("%*d then %v", 8, 3, err)                       // want `formatted with %v`
+	_ = fmt.Errorf("restore: %w: %v / %v", errSentinel, err, err2) // want `formatted with %v` `formatted with %v`
+}
+
+func flattensConcrete(e *opErr) {
+	_ = fmt.Errorf("op: %v", e) // want `formatted with %v`
+}
+
+func wraps(err, err2 error, n int) {
+	_ = fmt.Errorf("load: %w", err)
+	_ = fmt.Errorf("restore: %w: %w / %w", errSentinel, err, err2)
+	_ = fmt.Errorf("count: %v of %d", n, n)
+	_ = fmt.Errorf("pct: %d%%", n)
+	s := "detail"
+	_ = fmt.Errorf("detail: %s", s)
+	//vbslint:ignore errwrap rendered into a human-facing message, never matched
+	_ = fmt.Errorf("report: %v", err)
+	args := []any{err}
+	_ = fmt.Errorf("spread: %v", args...)
+}

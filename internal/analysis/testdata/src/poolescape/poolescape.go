@@ -1,0 +1,92 @@
+// Fixture for the poolescape analyzer: nothing reachable from a
+// pooled *devirt.Router may be used after Release or escape a
+// function that releases it.
+package poolescape
+
+import (
+	"repro/internal/arch"
+	"repro/internal/devirt"
+)
+
+func useAfterRelease(reg devirt.Region) int {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return 0
+	}
+	cfgs := rt.Configs()
+	rt.Release()
+	return len(cfgs) // want `reachable from pooled router rt`
+}
+
+func routerAfterRelease(reg devirt.Region) {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return
+	}
+	rt.Release()
+	rt.Reset() // want `reachable from pooled router rt`
+}
+
+func returnsPooled(reg devirt.Region) []*arch.MacroConfig {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return nil
+	}
+	defer rt.Release()
+	return rt.Configs() // want `return of rt leaks`
+}
+
+type cache struct {
+	cfgs []*arch.MacroConfig
+}
+
+func stores(c *cache, reg devirt.Region) {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return
+	}
+	cfgs := rt.Configs()
+	c.cfgs = cfgs // want `stores memory reachable from pooled router rt`
+	rt.Release()
+}
+
+// earlyRelease releases on an error path inside a nested block; uses
+// after that block belong to the non-released path and are fine.
+func earlyRelease(reg devirt.Region) int {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return 0
+	}
+	if reg.CW == 0 {
+		rt.Release()
+		return 0
+	}
+	n := len(rt.Configs())
+	rt.Release()
+	return n
+}
+
+// copiesOut is the sanctioned pattern: copy config values out before
+// the deferred Release fires; the copies own their storage.
+func copiesOut(reg devirt.Region) []arch.MacroConfig {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return nil
+	}
+	defer rt.Release()
+	var out []arch.MacroConfig
+	for _, cfg := range rt.Configs() {
+		out = append(out, *cfg)
+	}
+	return out
+}
+
+// acquires transfers ownership: no Release here, so the caller is
+// responsible and returning the router is fine.
+func acquires(reg devirt.Region) (*devirt.Router, []*arch.MacroConfig, error) {
+	rt, err := devirt.AcquireRouter(reg, false, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rt, rt.Configs(), nil
+}

@@ -24,7 +24,7 @@ func TestGatewayAllReplicasDown503(t *testing.T) {
 		n.kill()
 	}
 
-	_, err = cl.GetVBS(put.Digest)
+	_, err = cl.GetVBSCtx(t.Context(), put.Digest)
 	if code := server.StatusCode(err); code != 503 {
 		t.Fatalf("GetVBS with all nodes down: %v (code %d), want 503", err, code)
 	}
@@ -32,7 +32,7 @@ func TestGatewayAllReplicasDown503(t *testing.T) {
 		t.Fatalf("GetVBS 503 message not diagnostic: %q", msg)
 	}
 
-	_, err = cl.Load(data, nil, nil, nil)
+	_, err = cl.LoadCtx(t.Context(), data, nil, nil, nil)
 	if code := server.StatusCode(err); code != 503 {
 		t.Fatalf("Load with all nodes down: %v (code %d), want 503", err, code)
 	}
@@ -63,7 +63,7 @@ func TestGatewayReadRepairConvergence(t *testing.T) {
 
 		// Delete the blob from one replica directly (the node's own
 		// API, behind the gateway's back) — replica loss in miniature.
-		if err := byURL[holders[victim]].client.DeleteVBS(put.Digest); err != nil {
+		if err := byURL[holders[victim]].client.DeleteVBSCtx(t.Context(), put.Digest); err != nil {
 			t.Fatalf("victim %d: node-local delete: %v", victim, err)
 		}
 		if h := nodesHolding(t, nodes, put.Digest); len(h) != replicas-1 {
@@ -75,7 +75,7 @@ func TestGatewayReadRepairConvergence(t *testing.T) {
 		// poll with a deadline.
 		deadline := time.Now().Add(10 * time.Second)
 		for {
-			got, err := cl.GetVBS(put.Digest)
+			got, err := cl.GetVBSCtx(t.Context(), put.Digest)
 			if err != nil {
 				t.Fatalf("victim %d: GetVBS during repair: %v", victim, err)
 			}
@@ -119,10 +119,10 @@ func TestGatewayRepairDoesNotResurrectDeleted(t *testing.T) {
 	}
 	// Reads before the delete may schedule sweeps; let them drain via
 	// Stop at cleanup. Delete through the gateway: every node drops it.
-	if _, err := cl.GetVBS(put.Digest); err != nil {
+	if _, err := cl.GetVBSCtx(t.Context(), put.Digest); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DeleteVBS(put.Digest); err != nil {
+	if err := cl.DeleteVBSCtx(t.Context(), put.Digest); err != nil {
 		t.Fatalf("gateway delete: %v", err)
 	}
 	gw.Stop() // drain any in-flight sweep before checking

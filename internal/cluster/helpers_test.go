@@ -133,7 +133,7 @@ func nodesHolding(t *testing.T, nodes []*testNode, digest string) []string {
 		if n.hs == nil {
 			continue
 		}
-		blobs, err := n.client.ListVBS()
+		blobs, err := n.client.ListVBSCtx(t.Context())
 		if err != nil {
 			continue
 		}

@@ -428,7 +428,7 @@ func (c *Controller) relocateLocked(id fabric.TaskID, x0, y0 int) error {
 		// Restore at the old position; the cached decode makes this
 		// loss-free.
 		if err2 := c.fab.Allocate(id, oldX, oldY, t.VBS.TaskW, t.VBS.TaskH); err2 != nil {
-			return fmt.Errorf("controller: %w: %v / %v", ErrRestoreFailed, err, err2)
+			return fmt.Errorf("controller: %w: %w / %w", ErrRestoreFailed, err, err2)
 		}
 		c.writeDecoded(t.dec, oldX, oldY)
 		return err

@@ -48,7 +48,7 @@ func TestChaosFaultsEndpoint(t *testing.T) {
 		t.Fatalf("HasVBS(absent) = %v, %v, want false, nil", ok, err)
 	}
 
-	st, err := cl.Stats()
+	st, err := cl.StatsCtx(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -105,7 +105,12 @@ func readAPIError(resp *http.Response) error {
 // Load submits a VBS container for placement. fabric/x/y follow
 // LoadRequest semantics (nil = daemon's choice).
 func (c *Client) Load(container []byte, fabric, x, y *int) (LoadResponse, error) {
-	return c.LoadWith(container, LoadRequest{Fabric: fabric, X: x, Y: y})
+	return c.LoadCtx(context.Background(), container, fabric, x, y)
+}
+
+// LoadCtx is Load bounded by ctx.
+func (c *Client) LoadCtx(ctx context.Context, container []byte, fabric, x, y *int) (LoadResponse, error) {
+	return c.LoadWithCtx(ctx, container, LoadRequest{Fabric: fabric, X: x, Y: y})
 }
 
 // LoadWith submits a VBS container with full LoadRequest control
@@ -125,11 +130,16 @@ func (c *Client) LoadWithCtx(ctx context.Context, container []byte, req LoadRequ
 
 // LoadVBS encodes and submits a parsed VBS.
 func (c *Client) LoadVBS(v *core.VBS) (LoadResponse, error) {
+	return c.LoadVBSCtx(context.Background(), v)
+}
+
+// LoadVBSCtx is LoadVBS bounded by ctx.
+func (c *Client) LoadVBSCtx(ctx context.Context, v *core.VBS) (LoadResponse, error) {
 	data, err := v.Encode()
 	if err != nil {
 		return LoadResponse{}, err
 	}
-	return c.Load(data, nil, nil, nil)
+	return c.LoadCtx(ctx, data, nil, nil, nil)
 }
 
 // Unload removes a loaded task.

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 
@@ -19,28 +20,29 @@ func Example_clientServer() {
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	cl := server.NewClient(hs.URL, hs.Client())
+	ctx := context.Background()
 
 	container, err := makeVBS(7, 10, 4, 8, 1).Encode()
 	if err != nil {
 		panic(err)
 	}
 
-	first, err := cl.Load(container, nil, nil, nil)
+	first, err := cl.LoadCtx(ctx, container, nil, nil, nil)
 	if err != nil {
 		panic(err)
 	}
-	second, err := cl.Load(container, nil, nil, nil)
+	second, err := cl.LoadCtx(ctx, container, nil, nil, nil)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("first load cached: %v\n", first.Cached)
 	fmt.Printf("second load cached: %v\n", second.Cached)
 
-	if _, err := cl.Relocate(second.ID, 9, 9); err != nil {
+	if _, err := cl.RelocateCtx(ctx, second.ID, 9, 9); err != nil {
 		panic(err)
 	}
 
-	st, err := cl.Stats()
+	st, err := cl.StatsCtx(ctx)
 	if err != nil {
 		panic(err)
 	}
