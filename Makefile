@@ -47,14 +47,15 @@ persist-smoke:
 
 # cluster-smoke proves the vbsgw sharded-serving loop: 3 nodes +
 # gateway, replicated loads, an out-of-band import, byte-identical
-# serving, and a vbsload mix under a strict error budget
+# serving, a vbsload mix under a strict error budget, and a fourth
+# node joined under live load with a zero error budget
 # (see scripts/cluster_smoke.sh).
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
-# chaos-smoke runs the CI-sized chaos recipes (nodekill, corruptblob)
-# against real vbsd subprocesses: fault injection under live traffic,
-# then fleet-wide invariant checks (see scripts/chaos_smoke.sh).
+# chaos-smoke runs the CI-sized chaos recipes (nodekill, corruptblob,
+# nodeadd) against real vbsd subprocesses: fault injection under live
+# traffic, then fleet-wide invariant checks (see scripts/chaos_smoke.sh).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 

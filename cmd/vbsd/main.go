@@ -56,6 +56,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "persistent VBS repository directory (empty = RAM-only store)")
 		warm      = flag.Int("warm", 0, "with -data-dir, pre-decode up to N stored blobs into the cache at boot (-1 = all, 0 = off)")
 		chaos     = flag.Bool("chaos", false, "expose /chaos/faults fault-injection endpoints (testing only)")
+		tombTTL   = flag.Duration("tombstone-ttl", 0, "with -data-dir, how long DELETE /vbs tombstones block re-replication (0 = 24h default)")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 		Policy:        *policy,
 		DataDir:       *dataDir,
 		EnableChaos:   *chaos,
+		TombstoneTTL:  *tombTTL,
 	})
 	if err != nil {
 		log.Fatalf("vbsd: %v", err)
@@ -122,6 +124,25 @@ func main() {
 		defer cancel()
 		_ = hs.Shutdown(shutdownCtx)
 	}()
+	if *dataDir != "" {
+		// Housekeeping: reclaim expired delete tombstones. Hourly is
+		// plenty — expiry is enforced at read time either way; the sweep
+		// only keeps the tombstone directory from accumulating debris.
+		go func() {
+			tick := time.NewTicker(time.Hour)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n, err := srv.SweepTombstones(); err == nil && n > 0 {
+						log.Printf("vbsd: swept %d expired tombstone(s)", n)
+					}
+				}
+			}
+		}()
+	}
 
 	log.Printf("vbsd: serving %d %dx%d fabric(s) (W=%d, K=%d) on %s", *nFabrics, gw, gh, *w, *k, *addr)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -13,7 +13,19 @@
 // out-of-band) and heal missing replicas on the way (read-repair).
 // Fleet-wide endpoints (GET /vbs, /tasks, /fabrics, /stats)
 // scatter-gather and merge; /stats gains a `cluster` block (node
-// health, per-node occupancy, ring version, traffic counters).
+// health, per-node occupancy, ring version, traffic counters, and
+// rebalance progress).
+//
+// Membership is elastic at runtime; a background rebalancer converges
+// blob placement after every change, and idempotent hops retry
+// transport failures with capped backoff (-retry-attempts /
+// -retry-backoff). Admin verbs drive a running gateway:
+//
+//	vbsgw node ls      -gw http://localhost:8930
+//	vbsgw node add     -gw http://localhost:8930 http://n4:8931
+//	vbsgw node drain   -gw http://localhost:8930 http://n2:8931
+//	vbsgw node remove  -gw http://localhost:8930 http://n2:8931
+//	vbsgw rebalance    -gw http://localhost:8930
 //
 // Node health is probed every -probe-interval; a node is suspect
 // after one failure and down after two, and revives on the next
@@ -23,6 +35,8 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -35,16 +49,38 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "serve":
+			serve(os.Args[2:])
+		case "node":
+			os.Exit(runNode(os.Args[2:], os.Stdout, os.Stderr))
+		case "rebalance":
+			os.Exit(runRebalance(os.Args[2:], os.Stdout, os.Stderr))
+		default:
+			fmt.Fprintf(os.Stderr, "vbsgw: unknown command %q (want serve, node, or rebalance)\n", os.Args[1])
+			os.Exit(2)
+		}
+		return
+	}
+	serve(os.Args[1:])
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("vbsgw", flag.ExitOnError)
 	var (
-		addr     = flag.String("addr", ":8930", "listen address")
-		nodes    = flag.String("nodes", "", "comma-separated vbsd base URLs (required)")
-		replicas = flag.Int("replicas", 2, "nodes holding each blob (primary + R-1 replicas)")
-		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per physical node on the hash ring")
-		probe    = flag.Duration("probe-interval", 2*time.Second, "health probe interval")
-		probeTmo = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
-		hopTmo   = flag.Duration("hop-timeout", 15*time.Second, "per-hop timeout for proxied calls")
+		addr      = fs.String("addr", ":8930", "listen address")
+		nodes     = fs.String("nodes", "", "comma-separated vbsd base URLs (required)")
+		replicas  = fs.Int("replicas", 2, "nodes holding each blob (primary + R-1 replicas)")
+		vnodes    = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per physical node on the hash ring")
+		probe     = fs.Duration("probe-interval", 2*time.Second, "health probe interval")
+		probeTmo  = fs.Duration("probe-timeout", time.Second, "per-probe timeout")
+		hopTmo    = fs.Duration("hop-timeout", 15*time.Second, "per-hop timeout for proxied calls")
+		retries   = fs.Int("retry-attempts", 0, "tries per idempotent hop before failover (0 = 3, 1 = no retries)")
+		retryBase = fs.Duration("retry-backoff", 0, "first retry delay, doubled per attempt with jitter (0 = 25ms)")
+		rebalance = fs.Duration("rebalance-interval", 0, "background rebalance pass interval (0 = 60s, negative = disabled)")
 	)
-	flag.Parse()
+	_ = fs.Parse(args)
 
 	var urls []string
 	for _, n := range strings.Split(*nodes, ",") {
@@ -57,11 +93,14 @@ func main() {
 	}
 
 	gw, err := cluster.New(urls, cluster.Options{
-		Replicas:      *replicas,
-		VNodes:        *vnodes,
-		ProbeInterval: *probe,
-		ProbeTimeout:  *probeTmo,
-		HopTimeout:    *hopTmo,
+		Replicas:          *replicas,
+		VNodes:            *vnodes,
+		ProbeInterval:     *probe,
+		ProbeTimeout:      *probeTmo,
+		HopTimeout:        *hopTmo,
+		RetryAttempts:     *retries,
+		RetryBackoff:      *retryBase,
+		RebalanceInterval: *rebalance,
 	})
 	if err != nil {
 		log.Fatalf("vbsgw: %v", err)
@@ -90,4 +129,79 @@ func main() {
 	}
 	gw.Stop()
 	log.Printf("vbsgw: shut down")
+}
+
+// runNode drives the membership admin verbs against a running
+// gateway: ls (default), add <url>, drain <node>, remove <node>.
+func runNode(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("vbsgw node", flag.ExitOnError)
+	gwURL := fs.String("gw", "http://localhost:8930", "gateway base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	verb, rest := "ls", args
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		verb, rest = args[0], args[1:]
+	}
+	_ = fs.Parse(rest)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	admin := cluster.NewAdmin(*gwURL, nil)
+
+	var (
+		ms  cluster.MembershipResponse
+		err error
+	)
+	switch verb {
+	case "ls":
+		ms, err = admin.Nodes(ctx)
+	case "add", "drain", "remove":
+		if fs.NArg() != 1 {
+			fmt.Fprintf(errOut, "vbsgw: node %s needs exactly one node URL\n", verb)
+			return 2
+		}
+		target := fs.Arg(0)
+		switch verb {
+		case "add":
+			ms, err = admin.AddNode(ctx, target)
+		case "drain":
+			ms, err = admin.DrainNode(ctx, target)
+		case "remove":
+			ms, err = admin.RemoveNode(ctx, target)
+		}
+	default:
+		fmt.Fprintf(errOut, "vbsgw: unknown node verb %q (want ls, add, drain, or remove)\n", verb)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "vbsgw: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "membership v%d, ring %s\n", ms.Version, ms.RingVersion)
+	for _, n := range ms.Nodes {
+		fmt.Fprintf(out, "  %-10s %-8s %s\n", n.Mode, n.State, n.Name)
+	}
+	return 0
+}
+
+// runRebalance kicks a rebalance pass and prints the progress block.
+func runRebalance(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("vbsgw rebalance", flag.ExitOnError)
+	gwURL := fs.String("gw", "http://localhost:8930", "gateway base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	_ = fs.Parse(args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	st, err := cluster.NewAdmin(*gwURL, nil).Rebalance(ctx)
+	if err != nil {
+		fmt.Fprintf(errOut, "vbsgw: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "rebalance %s (ring %s): %d pass(es), %d examined, %d copied, %d trimmed, %d tombstones, %d skipped, %d errors\n",
+		st.State, st.RingVersion, st.Passes, st.BlobsExamined, st.Copies, st.Trims,
+		st.TombstonesPropagated, st.Skipped, st.Errors)
+	if st.LastError != "" {
+		fmt.Fprintf(out, "last error: %s\n", st.LastError)
+	}
+	return 0
 }

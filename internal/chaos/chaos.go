@@ -115,7 +115,8 @@ type Env struct {
 	Cfg    Config
 	Report *Report
 
-	mu sync.Mutex
+	mu    sync.Mutex
+	extra []Condition
 }
 
 func (e *Env) recordFault(format string, args ...any) {
@@ -124,6 +125,22 @@ func (e *Env) recordFault(format string, args ...any) {
 	e.mu.Lock()
 	e.Report.FaultsInjected = append(e.Report.FaultsInjected, line)
 	e.mu.Unlock()
+}
+
+// AddCondition registers a recipe-specific invariant checked after
+// the standard set — e.g. "the blob I deleted mid-rebalance stays
+// dead". Conditions added during the recipe run with the same
+// convergence polling as the standard ones.
+func (e *Env) AddCondition(c Condition) {
+	e.mu.Lock()
+	e.extra = append(e.extra, c)
+	e.mu.Unlock()
+}
+
+func (e *Env) conditions() []Condition {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append(StandardConditions(), e.extra...)
 }
 
 // Sleep waits for d or until ctx is done.
@@ -182,9 +199,10 @@ func Run(ctx context.Context, f *Fleet, name string, cfg Config) (*Report, error
 	env.Work.Stop()
 	report.Workload = env.Work.Stats()
 
-	cfg.Log("chaos: checking %d condition(s), converge budget %s", len(StandardConditions()), cfg.Converge)
+	conds := env.conditions()
+	cfg.Log("chaos: checking %d condition(s), converge budget %s", len(conds), cfg.Converge)
 	allPassed := true
-	for _, c := range StandardConditions() {
+	for _, c := range conds {
 		res := pollCondition(ctx, env, c, cfg.Converge)
 		report.Conditions = append(report.Conditions, res)
 		if res.Passed {

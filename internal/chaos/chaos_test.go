@@ -62,9 +62,29 @@ func TestRecipeNodeKill(t *testing.T)    { runRecipe(t, "nodekill") }
 func TestRecipeDiskFull(t *testing.T)    { runRecipe(t, "diskfull") }
 func TestRecipeCorruptBlob(t *testing.T) { runRecipe(t, "corruptblob") }
 func TestRecipeChurn(t *testing.T)       { runRecipe(t, "churn") }
+func TestRecipeDrain(t *testing.T)       { runRecipe(t, "drain") }
+
+// TestRecipeNodeAdd is the acceptance scenario for elastic
+// membership: SIGKILL one node and join a fresh one under live load —
+// replica counts must converge back to R, with zero invariant
+// violations and a blob deleted mid-rebalance staying dead.
+func TestRecipeNodeAdd(t *testing.T) {
+	rep := runRecipe(t, "nodeadd")
+	for _, want := range []string{"deleted-blob-stays-dead", "owners-hold-replicas"} {
+		found := false
+		for _, c := range rep.Conditions {
+			if c.Name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("recipe nodeadd did not register condition %s: %+v", want, rep.Conditions)
+		}
+	}
+}
 
 func TestRecipeRegistry(t *testing.T) {
-	want := []string{"churn", "corruptblob", "diskfull", "nodekill"}
+	want := []string{"churn", "corruptblob", "diskfull", "drain", "nodeadd", "nodekill"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

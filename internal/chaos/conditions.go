@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/repo"
+	"repro/internal/server"
 )
 
 // Condition is one named invariant check over a settled fleet. Check
@@ -135,6 +136,84 @@ func checkNoTaskResurrection(ctx context.Context, e *Env) error {
 		}
 	}
 	return nil
+}
+
+// deletedBlobStaysDead builds the recipe condition for a blob deleted
+// mid-rebalance: the gateway must answer 404/410, and no alive node
+// may hold a copy — a mover resurrecting it means the tombstone was
+// ignored.
+func deletedBlobStaysDead(digest string) Condition {
+	return Condition{
+		Name: "deleted-blob-stays-dead",
+		Check: func(ctx context.Context, e *Env) error {
+			if _, err := e.Fleet.Client.GetVBSCtx(ctx, digest); err == nil {
+				return fmt.Errorf("deleted blob %.12s still served by the gateway", digest)
+			} else if sc := server.StatusCode(err); sc != 404 && sc != 410 {
+				return fmt.Errorf("deleted blob %.12s: unexpected gateway reply: %w", digest, err)
+			}
+			for _, n := range e.Fleet.Nodes {
+				if !n.Alive() {
+					continue
+				}
+				blobs, err := n.Client().ListVBSCtx(ctx)
+				if err != nil {
+					return fmt.Errorf("%s vbs listing: %w", n.Name(), err)
+				}
+				for _, b := range blobs {
+					if b.Digest == digest {
+						return fmt.Errorf("deleted blob %.12s resurfaced on %s", digest, n.Name())
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ownersHoldReplicas: every alive ring owner of every acked digest
+// actually holds a copy. Stronger than replicas-converge after a
+// membership change — the count can be satisfied by stale holders
+// while a freshly joined node still owns digests it never received.
+// Surplus copies on non-owners are allowed: live task references
+// legitimately veto their trim.
+var ownersHoldReplicas = Condition{
+	Name: "owners-hold-replicas",
+	Check: func(ctx context.Context, e *Env) error {
+		ring := e.Fleet.Gateway.Ring()
+		byURL := make(map[string]Node, len(e.Fleet.Nodes))
+		holders := make(map[string]map[string]bool, len(e.Fleet.Nodes))
+		for _, n := range e.Fleet.Nodes {
+			byURL[n.URL()] = n
+			if !n.Alive() {
+				continue
+			}
+			blobs, err := n.Client().ListVBSCtx(ctx)
+			if err != nil {
+				return fmt.Errorf("%s vbs listing: %w", n.Name(), err)
+			}
+			set := make(map[string]bool, len(blobs))
+			for _, b := range blobs {
+				set[b.Digest] = true
+			}
+			holders[n.URL()] = set
+		}
+		for ds := range e.Work.Acked() {
+			d, err := repo.ParseDigest(ds)
+			if err != nil {
+				return err
+			}
+			for _, owner := range ring.Lookup(d, e.Fleet.Replicas) {
+				n := byURL[owner]
+				if n == nil || !n.Alive() {
+					continue
+				}
+				if !holders[owner][ds] {
+					return fmt.Errorf("owner %s of %.12s does not hold it yet", n.Name(), ds)
+				}
+			}
+		}
+		return nil
+	},
 }
 
 // checkErrorBudget: the client-visible error rate stayed inside the

@@ -56,12 +56,34 @@ type Fleet struct {
 	Nodes    []Node
 	Gateway  *cluster.Gateway
 	Replicas int
-	// URL is the gateway's base URL; Client speaks to it.
+	// URL is the gateway's base URL; Client speaks to it; Admin drives
+	// the membership and rebalance endpoints.
 	URL    string
 	Client *server.Client
+	Admin  *cluster.Admin
 
 	gwServer *http.Server
 	gwErr    chan error
+
+	// spawn builds one more node of the fleet's kind (in-process or
+	// subprocess) for the elastic-membership recipes.
+	spawn func(ctx context.Context, name string) (Node, error)
+}
+
+// SpawnNode starts one additional node of the fleet's kind (fresh
+// data dir, next free name) and appends it to Nodes. It does NOT join
+// the node to the gateway — that is the admin step under test. Call
+// only from the recipe goroutine: Nodes is not locked.
+func (f *Fleet) SpawnNode(ctx context.Context) (Node, error) {
+	if f.spawn == nil {
+		return nil, fmt.Errorf("chaos: fleet cannot spawn nodes")
+	}
+	n, err := f.spawn(ctx, fmt.Sprintf("node%d", len(f.Nodes)))
+	if err != nil {
+		return nil, err
+	}
+	f.Nodes = append(f.Nodes, n)
+	return n, nil
 }
 
 // Close tears the whole fleet down: gateway first (draining repairs),
@@ -101,6 +123,9 @@ func (f *Fleet) startGateway(ctx context.Context, probe time.Duration) error {
 		ProbeInterval: probe,
 		ProbeTimeout:  2 * probe,
 		HopTimeout:    10 * time.Second,
+		// Membership recipes wait on rebalance convergence, so pass
+		// frequently; every membership change also kicks a pass.
+		RebalanceInterval: 700 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -113,6 +138,7 @@ func (f *Fleet) startGateway(ctx context.Context, probe time.Duration) error {
 	f.Gateway = gw
 	f.URL = "http://" + ln.Addr().String()
 	f.Client = server.NewClient(f.URL, nil)
+	f.Admin = cluster.NewAdmin(f.URL, nil)
 	f.gwServer = &http.Server{Handler: gw.Handler()}
 	f.gwErr = make(chan error, 1)
 	go func() { f.gwErr <- f.gwServer.Serve(ln) }()
@@ -251,6 +277,9 @@ func (n *localNode) Restart() error {
 // dirs under workDir, behind a gateway with the given replica count.
 func NewLocalFleet(ctx context.Context, workDir string, n, replicas int, probe time.Duration) (*Fleet, error) {
 	f := &Fleet{Replicas: replicas}
+	f.spawn = func(ctx context.Context, name string) (Node, error) {
+		return newLocalNode(ctx, name, filepath.Join(workDir, "data-"+name))
+	}
 	for i := 0; i < n; i++ {
 		node, err := newLocalNode(ctx, fmt.Sprintf("node%d", i), filepath.Join(workDir, fmt.Sprintf("data%d", i)))
 		if err != nil {
@@ -370,6 +399,11 @@ func (n *procNode) Restart() error {
 // in-process gateway.
 func NewProcFleet(ctx context.Context, vbsdPath, workDir string, n, replicas int, probe time.Duration) (*Fleet, error) {
 	f := &Fleet{Replicas: replicas}
+	f.spawn = func(ctx context.Context, name string) (Node, error) {
+		return newProcNode(ctx, vbsdPath, name,
+			filepath.Join(workDir, "data-"+name),
+			filepath.Join(workDir, name+".log"))
+	}
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("node%d", i)
 		node, err := newProcNode(ctx, vbsdPath, name,

@@ -44,6 +44,52 @@ func (e *Env) ClearFaults(ctx context.Context, n Node) error {
 	return n.Client().SetFaults(cctx, server.ChaosFaults{})
 }
 
+// AddFreshNode spawns one more node of the fleet's kind and joins it
+// to the gateway through the membership API — an elastic scale-out,
+// exactly what `vbsgw node add` does.
+func (e *Env) AddFreshNode(ctx context.Context) (Node, error) {
+	n, err := e.Fleet.SpawnNode(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if _, err := e.Fleet.Admin.AddNode(cctx, n.URL()); err != nil {
+		return nil, fmt.Errorf("chaos: join %s: %w", n.Name(), err)
+	}
+	e.recordFault("spawn + join %s (%s)", n.Name(), n.URL())
+	return n, nil
+}
+
+// DrainMember starts a graceful decommission of a node: off the ring
+// for new writes, still serving while the rebalancer empties it.
+func (e *Env) DrainMember(ctx context.Context, n Node) error {
+	e.recordFault("drain %s", n.Name())
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	_, err := e.Fleet.Admin.DrainNode(cctx, n.URL())
+	return err
+}
+
+// RemoveMember forgets a node at the gateway. The process keeps
+// running (or stays dead) — only the membership changes.
+func (e *Env) RemoveMember(ctx context.Context, n Node) error {
+	e.recordFault("remove %s from membership", n.Name())
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	_, err := e.Fleet.Admin.RemoveNode(cctx, n.URL())
+	return err
+}
+
+// DeleteBlob deletes a digest through the gateway — fan-out delete
+// plus tombstones on every member, so nothing resurrects it.
+func (e *Env) DeleteBlob(ctx context.Context, digest string) error {
+	e.recordFault("delete blob %.12s via gateway", digest)
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return e.Fleet.Client.DeleteVBSCtx(cctx, digest)
+}
+
 // CorruptBlob flips a byte in the payload tail of a digest's on-disk
 // blob file under a node's data dir — real bit rot, not the injection
 // seam. The node's RAM tier may keep serving the healthy copy until

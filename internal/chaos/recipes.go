@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/loadgen"
 	"repro/internal/server"
 )
 
@@ -67,6 +68,18 @@ func init() {
 		Description: "repeated kill/restart cycles across nodes under sustained traffic",
 		ErrorBudget: 0.30,
 		Run:         runChurn,
+	})
+	register(Recipe{
+		Name:        "nodeadd",
+		Description: "SIGKILL + forget one node, join a fresh empty one under traffic; expect rebalance back to R and a mid-rebalance delete to stay dead",
+		ErrorBudget: 0.25,
+		Run:         runNodeAdd,
+	})
+	register(Recipe{
+		Name:        "drain",
+		Description: "gracefully drain and remove one node under traffic; expect zero client errors and an emptied node",
+		ErrorBudget: 0, // a graceful decommission must be invisible to clients
+		Run:         runDrain,
 	})
 }
 
@@ -179,6 +192,112 @@ func runCorruptBlob(ctx context.Context, e *Env) error {
 		return fmt.Errorf("%s quarantined nothing after corrupting %.12s", target.Name(), digest)
 	}
 	e.recordFault("%s quarantined %d blob(s) at boot", target.Name(), st.Repo.Quarantined)
+	return nil
+}
+
+// runNodeAdd is the elastic-membership scenario the cluster must
+// survive: lose a node permanently (kill + forget), join a fresh
+// empty replacement under live traffic, and delete a blob while the
+// rebalancer is mid-flight. Conditions then demand replica sets back
+// at R with every ring owner actually holding its digests, and the
+// deleted blob dead everywhere — the tombstone must outrun the
+// movers.
+func runNodeAdd(ctx context.Context, e *Env) error {
+	// A doomed blob written through the gateway, outside the
+	// workload's acked set so the retrievability condition skips it.
+	doomedRaw, err := loadgen.GenTask(e.Cfg.Seed+9991, NodeW, NodeK)
+	if err != nil {
+		return fmt.Errorf("doomed blob generation: %w", err)
+	}
+	pctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	put, err := e.Fleet.Client.PutVBS(pctx, doomedRaw)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("put doomed blob: %w", err)
+	}
+	e.recordFault("put doomed blob %.12s", put.Digest)
+
+	// Lose the busiest node for good.
+	v := victim(ctx, e)
+	if err := e.KillNode(v); err != nil {
+		return err
+	}
+	if err := e.RemoveMember(ctx, v); err != nil {
+		return err
+	}
+	// Scale back out with an empty node; the rebalancer must populate
+	// it while the workload keeps hitting the gateway.
+	if _, err := e.AddFreshNode(ctx); err != nil {
+		return err
+	}
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+	if err := e.DeleteBlob(ctx, put.Digest); err != nil {
+		return fmt.Errorf("mid-rebalance delete: %w", err)
+	}
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+
+	e.AddCondition(deletedBlobStaysDead(put.Digest))
+	e.AddCondition(ownersHoldReplicas)
+	return nil
+}
+
+// runDrain decommissions the busiest node gracefully: drain it off
+// the ring, retire its tasks through the gateway (live references
+// veto blob trims), wait for the rebalancer to empty it, then forget
+// it. The error budget is zero — clients must never notice.
+func runDrain(ctx context.Context, e *Env) error {
+	v := victim(ctx, e)
+	if err := e.DrainMember(ctx, v); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(e.Cfg.Converge)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Unload every gateway task hosted on the victim; the workload
+		// records its own later unloads of these ids as stale, not
+		// errors. Re-listing each round catches loads that routed on a
+		// pre-drain ring snapshot.
+		tctx, tcancel := context.WithTimeout(ctx, 10*time.Second)
+		tasks, err := e.Fleet.Client.TasksCtx(tctx)
+		tcancel()
+		if err != nil {
+			return fmt.Errorf("gateway tasks: %w", err)
+		}
+		for _, ti := range tasks {
+			if ti.Node != v.URL() {
+				continue
+			}
+			uctx, ucancel := context.WithTimeout(ctx, 10*time.Second)
+			err := e.Fleet.Client.UnloadCtx(uctx, ti.ID)
+			ucancel()
+			if err != nil && server.StatusCode(err) != 404 {
+				return fmt.Errorf("unload task %d off %s: %w", ti.ID, v.Name(), err)
+			}
+		}
+		bctx, bcancel := context.WithTimeout(ctx, 10*time.Second)
+		blobs, err := v.Client().ListVBSCtx(bctx)
+		bcancel()
+		if err != nil {
+			return fmt.Errorf("%s vbs listing: %w", v.Name(), err)
+		}
+		if len(blobs) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s still holds %d blob(s) after %s of draining", v.Name(), len(blobs), e.Cfg.Converge)
+		}
+		e.Fleet.Gateway.Rebalancer().Kick()
+		Sleep(ctx, 200*time.Millisecond)
+	}
+	e.recordFault("%s drained empty", v.Name())
+	if err := e.RemoveMember(ctx, v); err != nil {
+		return err
+	}
+	// Keep traffic running on the shrunken fleet for a while.
+	Sleep(ctx, e.Cfg.FaultPhase/2)
+	e.AddCondition(ownersHoldReplicas)
 	return nil
 }
 

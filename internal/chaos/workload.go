@@ -127,6 +127,15 @@ func (w *Workload) UnloadedTasks() []int64 {
 	return out
 }
 
+// aborted reports whether an op's transport failure was caused by the
+// workload's own shutdown: the run context is canceled and the error
+// carries no server status. Such ops are discarded — the client hung
+// up, the cluster did not fail — which is what lets a graceful
+// recipe hold a zero error budget.
+func aborted(ctx context.Context, err error) bool {
+	return err != nil && ctx.Err() != nil && server.StatusCode(err) == 0
+}
+
 func (w *Workload) record(err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -181,6 +190,9 @@ func (w *Workload) doOne(ctx context.Context, rng *rand.Rand) {
 		i := rng.Intn(len(w.containers))
 		data := w.containers[i]
 		res, err := w.cl.LoadWithCtx(octx, data, server.LoadRequest{})
+		if aborted(ctx, err) {
+			return
+		}
 		if err != nil && server.StatusCode(err) == 409 {
 			w.mu.Lock()
 			w.stats.Ops++
@@ -197,6 +209,9 @@ func (w *Workload) doOne(ctx context.Context, rng *rand.Rand) {
 		}
 	case "get":
 		data, err := w.cl.GetVBSCtx(octx, digest)
+		if aborted(ctx, err) {
+			return
+		}
 		if err == nil && repo.DigestOf(data).String() != digest {
 			w.mu.Lock()
 			w.stats.CorruptServes++
@@ -206,6 +221,12 @@ func (w *Workload) doOne(ctx context.Context, rng *rand.Rand) {
 	case "unload":
 		err := w.cl.UnloadCtx(octx, id)
 		switch {
+		case aborted(ctx, err):
+			// The task may survive the aborted call: put it back so a
+			// later unload retires it.
+			w.mu.Lock()
+			w.loaded = append(w.loaded, id)
+			w.mu.Unlock()
 		case err == nil:
 			w.record(nil)
 			w.mu.Lock()

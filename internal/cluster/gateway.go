@@ -41,6 +41,18 @@ type Options struct {
 	// HTTPClient is used for every node call (nil =
 	// http.DefaultClient).
 	HTTPClient *http.Client
+	// RetryAttempts is the total tries per idempotent hop (GET, HEAD,
+	// probe, replication copy) before the caller fails over; 0 selects
+	// 3, 1 disables retries. Non-idempotent ops (loads) never retry a
+	// hop — failover across owners is their retry.
+	RetryAttempts int
+	// RetryBackoff is the first retry delay (doubled per attempt,
+	// capped, jittered); 0 selects 25ms.
+	RetryBackoff time.Duration
+	// RebalanceInterval is the background rebalancer's pass interval;
+	// 0 selects 60s, negative disables the rebalancer (membership
+	// changes still kick a pass when enabled).
+	RebalanceInterval time.Duration
 }
 
 // gwTask maps a gateway task id to the node-local task it proxies.
@@ -57,12 +69,26 @@ type gwTask struct {
 // consistent-hash ring with write-through replication and read
 // failover; fleet-wide endpoints scatter-gather and merge.
 type Gateway struct {
-	ring     *Ring
+	// ring is swapped copy-on-write on membership changes: requests
+	// load the pointer once and route on an immutable snapshot.
+	ring     atomic.Pointer[Ring]
 	reg      *Registry
+	reb      *Rebalancer
 	replicas int
 	hop      time.Duration
 	maxBody  int64
 	start    time.Time
+
+	retryAttempts int
+	retryBase     time.Duration
+
+	// mshipMu serializes membership changes (ring swaps stay atomic for
+	// readers either way); mshipVer counts them — the rebalancer aborts
+	// a pass when it moves. draining marks members kept in the registry
+	// but taken off the ring while the rebalancer empties them.
+	mshipMu  sync.Mutex
+	mshipVer atomic.Uint64
+	draining map[string]bool
 
 	mu        sync.Mutex
 	tasks     map[int64]*gwTask
@@ -83,6 +109,8 @@ type Gateway struct {
 	repairChecks     atomic.Uint64
 	scatterFallbacks atomic.Uint64
 	scatters         atomic.Uint64
+	retries          atomic.Uint64
+	tombstoneSweeps  atomic.Uint64
 }
 
 // New builds a gateway over the given node base URLs. At least one
@@ -105,34 +133,61 @@ func New(nodes []string, opts Options) (*Gateway, error) {
 	if maxBody == 0 {
 		maxBody = server.DefaultMaxBodyBytes
 	}
-	return &Gateway{
-		ring:      NewRing(nodes, opts.VNodes),
-		reg:       NewRegistry(nodes, opts.HTTPClient, opts.ProbeInterval, opts.ProbeTimeout),
-		replicas:  opts.Replicas,
-		hop:       opts.HopTimeout,
-		maxBody:   maxBody,
-		start:     time.Now(),
-		tasks:     make(map[int64]*gwTask),
-		fabCounts: make(map[string]int),
-	}, nil
+	if opts.RetryAttempts == 0 {
+		opts.RetryAttempts = defaultRetryAttempts
+	}
+	if opts.RetryAttempts < 1 {
+		opts.RetryAttempts = 1
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBase
+	}
+	if opts.RebalanceInterval == 0 {
+		opts.RebalanceInterval = time.Minute
+	}
+	g := &Gateway{
+		reg:           NewRegistry(nodes, opts.HTTPClient, opts.ProbeInterval, opts.ProbeTimeout),
+		replicas:      opts.Replicas,
+		hop:           opts.HopTimeout,
+		maxBody:       maxBody,
+		start:         time.Now(),
+		retryAttempts: opts.RetryAttempts,
+		retryBase:     opts.RetryBackoff,
+		draining:      make(map[string]bool),
+		tasks:         make(map[int64]*gwTask),
+		fabCounts:     make(map[string]int),
+	}
+	g.ring.Store(NewRing(nodes, opts.VNodes))
+	g.reg.SetRetry(opts.RetryAttempts, opts.RetryBackoff)
+	g.reb = newRebalancer(g, opts.RebalanceInterval)
+	return g, nil
 }
 
-// Ring exposes the routing ring (read-only).
-func (g *Gateway) Ring() *Ring { return g.ring }
+// curRing loads the current routing ring — an immutable snapshot; a
+// membership change mid-request cannot tear a lookup.
+func (g *Gateway) curRing() *Ring { return g.ring.Load() }
+
+// Ring exposes the current routing ring (read-only).
+func (g *Gateway) Ring() *Ring { return g.curRing() }
 
 // Registry exposes the node health registry.
 func (g *Gateway) Registry() *Registry { return g.reg }
 
+// Rebalancer exposes the background rebalancer.
+func (g *Gateway) Rebalancer() *Rebalancer { return g.reb }
+
 // Start probes every node once (so the first request sees real
-// states) and launches the background probe loop.
+// states) and launches the background probe and rebalance loops.
 func (g *Gateway) Start(ctx context.Context) {
 	g.reg.ProbeAll(ctx)
 	g.reg.Start()
+	g.reb.Start()
 }
 
-// Stop terminates the probe loop and drains in-flight read-repairs
-// (each bounded by the hop timeout).
+// Stop terminates the rebalance and probe loops and drains in-flight
+// read-repairs (each bounded by the hop timeout).
 func (g *Gateway) Stop() {
+	g.reb.Stop()
 	g.reg.Stop()
 	g.repairs.Wait()
 }
@@ -153,6 +208,14 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("DELETE /vbs/{digest}", g.handleDeleteVBS)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	// Cluster admin: runtime membership and rebalance control. {name}
+	// is a path-escaped node base URL (Go's ServeMux matches wildcards
+	// against the escaped path, so the embedded "//" survives).
+	mux.HandleFunc("GET /cluster/nodes", g.handleMembers)
+	mux.HandleFunc("POST /cluster/nodes", g.handleAddNode)
+	mux.HandleFunc("DELETE /cluster/nodes/{name}", g.handleRemoveNode)
+	mux.HandleFunc("POST /cluster/nodes/{name}/drain", g.handleDrainNode)
+	mux.HandleFunc("POST /cluster/rebalance", g.handleRebalance)
 	return mux
 }
 
@@ -189,7 +252,7 @@ func (g *Gateway) hopCtx(r *http.Request) (context.Context, context.CancelFunc) 
 // nodes first, then suspect, then down — all in ring order within a
 // class, so two gateways still agree whenever their health views do.
 func (g *Gateway) owners(d repo.Digest) []string {
-	own := g.ring.Lookup(d, g.replicas)
+	own := g.curRing().Lookup(d, g.replicas)
 	out := make([]string, 0, len(own))
 	for _, class := range []State{Alive, Suspect, Down} {
 		for _, n := range own {
@@ -225,9 +288,14 @@ type nodeResult[T any] struct {
 	err  error
 }
 
+// errNotMember marks a call against a node that left the registry
+// between name capture and client lookup.
+var errNotMember = errors.New("cluster: node no longer in registry")
+
 // scatter fans f out to the given nodes concurrently and collects
-// every answer in node order. Transport failures demote the node in
-// the registry.
+// every answer in node order. Transport failures are retried per the
+// gateway retry policy (every scatter use is idempotent) and demote
+// the node in the registry.
 func scatter[T any](ctx context.Context, g *Gateway, nodes []string,
 	f func(ctx context.Context, c *server.Client) (T, error)) []nodeResult[T] {
 	out := make([]nodeResult[T], len(nodes))
@@ -236,11 +304,18 @@ func scatter[T any](ctx context.Context, g *Gateway, nodes []string,
 		wg.Add(1)
 		go func(i int, n string) {
 			defer wg.Done()
-			cctx, cancel := context.WithTimeout(ctx, g.hop)
-			defer cancel()
-			val, err := f(cctx, g.reg.Client(n))
+			c := g.reg.Client(n)
+			if c == nil {
+				out[i] = nodeResult[T]{node: n, err: errNotMember}
+				return
+			}
+			var val T
+			err := g.retryTransport(ctx, n, func(ctx context.Context) error {
+				var ferr error
+				val, ferr = f(ctx, c)
+				return ferr
+			})
 			out[i] = nodeResult[T]{node: n, val: val, err: err}
-			g.observe(n, err)
 		}(i, n)
 	}
 	wg.Wait()
@@ -358,8 +433,11 @@ func (g *Gateway) replicate(ctx context.Context, data []byte, owners []string, h
 	if len(targets) == 0 {
 		return
 	}
+	// Force: replication carries the same user intent as the write it
+	// fans out — it must land even on a node still holding a tombstone
+	// from an earlier delete of the same bytes.
 	res := scatter(ctx, g, targets, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
-		return c.PutVBS(ctx, data)
+		return c.PutVBSForce(ctx, data)
 	})
 	for _, r := range res {
 		if r.err != nil {
@@ -381,7 +459,7 @@ func (g *Gateway) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	digest := repo.DigestOf(data)
-	owners := g.ring.Lookup(digest, g.replicas)
+	owners := g.curRing().Lookup(digest, g.replicas)
 
 	// The load request targets the digest's owners in health order —
 	// unless the caller pinned a fleet-global fabric index, which
@@ -407,8 +485,13 @@ func (g *Gateway) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var onNode string
 	var lastErr error
 	for i, n := range targets {
+		c := g.reg.Client(n)
+		if c == nil {
+			lastErr = errNotMember
+			continue
+		}
 		ctx, cancel := g.hopCtx(r)
-		resp, err := g.reg.Client(n).LoadWithCtx(ctx, data, req)
+		resp, err := c.LoadWithCtx(ctx, data, req)
 		cancel()
 		g.observe(n, err)
 		g.proxied.Add(1)
@@ -499,9 +582,14 @@ func (g *Gateway) handleUnload(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	c := g.reg.Client(t.node)
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, "node %s no longer a cluster member", t.node)
+		return
+	}
 	ctx, cancel := g.hopCtx(r)
 	defer cancel()
-	err := g.reg.Client(t.node).UnloadCtx(ctx, t.remote)
+	err := c.UnloadCtx(ctx, t.remote)
 	g.observe(t.node, err)
 	g.proxied.Add(1)
 	if err != nil && server.StatusCode(err) != http.StatusNotFound {
@@ -536,9 +624,14 @@ func (g *Gateway) handleRelocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "x and y are required")
 		return
 	}
+	c := g.reg.Client(t.node)
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, "node %s no longer a cluster member", t.node)
+		return
+	}
 	ctx, cancel := g.hopCtx(r)
 	defer cancel()
-	info, err := g.reg.Client(t.node).RelocateCtx(ctx, t.remote, *req.X, *req.Y)
+	info, err := c.RelocateCtx(ctx, t.remote, *req.X, *req.Y)
 	g.observe(t.node, err)
 	g.proxied.Add(1)
 	if err != nil {
@@ -626,9 +719,14 @@ func (g *Gateway) handleCompact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "fabric %d not in pool", i)
 		return
 	}
+	c := g.reg.Client(node)
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, "node %s no longer a cluster member", node)
+		return
+	}
 	ctx, cancel := g.hopCtx(r)
 	defer cancel()
-	res, err := g.reg.Client(node).CompactCtx(ctx, local)
+	res, err := c.CompactCtx(ctx, local)
 	g.observe(node, err)
 	g.proxied.Add(1)
 	if err != nil {
@@ -681,8 +779,10 @@ func (g *Gateway) handlePutVBS(w http.ResponseWriter, r *http.Request) {
 	}
 	owners := g.owners(repo.DigestOf(data))
 	g.proxied.Add(1)
+	// Force: an explicit client write overrides any delete tombstone,
+	// exactly like the single-daemon PUT-after-force semantics.
 	res := scatter(r.Context(), g, owners, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
-		return c.PutVBS(ctx, data)
+		return c.PutVBSForce(ctx, data)
 	})
 	var firstOK *server.PutVBSResponse
 	var lastErr error
@@ -736,14 +836,20 @@ func (g *Gateway) handleListVBS(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// fetchVerified downloads a blob from one node and re-checks its
-// content address — a gateway must never relay bytes that do not
-// hash to the digest it serves them under.
+// fetchVerified downloads a blob from one node (with transport
+// retries) and re-checks its content address — a gateway must never
+// relay bytes that do not hash to the digest it serves them under.
 func (g *Gateway) fetchVerified(ctx context.Context, node string, d repo.Digest) ([]byte, error) {
-	cctx, cancel := context.WithTimeout(ctx, g.hop)
-	defer cancel()
-	data, err := g.reg.Client(node).GetVBSCtx(cctx, d.String())
-	g.observe(node, err)
+	c := g.reg.Client(node)
+	if c == nil {
+		return nil, errNotMember
+	}
+	var data []byte
+	err := g.retryTransport(ctx, node, func(ctx context.Context) error {
+		var ferr error
+		data, ferr = c.GetVBSCtx(ctx, d.String())
+		return ferr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -760,7 +866,7 @@ func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owners := g.owners(d)
-	primary := g.ring.Owner(d)
+	primary := g.curRing().Owner(d)
 	g.proxied.Add(1)
 
 	serve := func(data []byte, from string) {
@@ -777,7 +883,7 @@ func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(data)
 	}
 
-	var lastErr error
+	var lastErr, goneErr error
 	for i, n := range owners {
 		data, err := g.fetchVerified(r.Context(), n, d)
 		if err == nil {
@@ -787,9 +893,20 @@ func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 			serve(data, n)
 			return
 		}
-		if server.StatusCode(err) != http.StatusNotFound {
+		switch server.StatusCode(err) {
+		case http.StatusNotFound:
+		case http.StatusGone:
+			goneErr = err
+		default:
 			lastErr = err
 		}
+	}
+	if goneErr != nil {
+		// An owner answered 410: the blob was deleted and its tombstone
+		// still lives. Do NOT fall back to a scatter — serving a
+		// straggler replica would resurrect a deleted blob.
+		writeUpstream(w, goneErr)
+		return
 	}
 	// Every owner missed: the blob may live on a non-owner (imported
 	// directly into a node's repository). Scatter before giving up.
@@ -840,48 +957,91 @@ func (g *Gateway) scheduleRepair(d repo.Digest, data []byte, from string) {
 	}()
 }
 
+// headVBS HEADs one node for a digest with transport retries.
+func (g *Gateway) headVBS(ctx context.Context, node string, d repo.Digest) (bool, error) {
+	c := g.reg.Client(node)
+	if c == nil {
+		return false, errNotMember
+	}
+	var ok bool
+	err := g.retryTransport(ctx, node, func(ctx context.Context) error {
+		var herr error
+		ok, herr = c.HasVBS(ctx, d.String())
+		return herr
+	})
+	return ok, err
+}
+
+// propagateDelete spreads a delete observed on one node across the
+// fleet so every holder records a tombstone — a blob deleted mid-
+// repair or mid-rebalance must not resurface from a straggler
+// replica. 404s are fine (the delete still tombstones); 409 means a
+// task re-referenced the digest and the delete loses.
+func (g *Gateway) propagateDelete(ctx context.Context, d repo.Digest) {
+	g.tombstoneSweeps.Add(1)
+	scatter(ctx, g, g.aliveNodes(), func(ctx context.Context, c *server.Client) (struct{}, error) {
+		return struct{}{}, c.DeleteVBSCtx(ctx, d.String())
+	})
+}
+
 // repairOwners checks every alive owner of d holds a copy (a HEAD per
 // owner) and re-replicates to the ones that do not. Before healing it
 // anchor-checks that the node the blob was just served from still
 // holds it: if a concurrent DELETE raced the sweep, re-putting would
-// resurrect a deleted blob. Runs off the request path with its own
-// hop-bounded contexts.
+// resurrect a deleted blob. A 410 anywhere flips the sweep's job from
+// healing to spreading the delete. Runs off the request path with its
+// own hop-bounded contexts.
 func (g *Gateway) repairOwners(d repo.Digest, data []byte, from string) {
 	g.repairChecks.Add(1)
 	var missing []string
-	for _, n := range g.ring.Lookup(d, g.replicas) {
+	gone := false
+	for _, n := range g.curRing().Lookup(d, g.replicas) {
 		if n == from || !g.reg.Alive(n) {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), g.hop)
-		ok, err := g.reg.Client(n).HasVBS(ctx, d.String())
-		cancel()
-		g.observe(n, err)
-		if err == nil && !ok {
+		ok, err := g.headVBS(context.Background(), n, d)
+		switch {
+		case server.StatusCode(err) == http.StatusGone:
+			gone = true
+		case err == nil && !ok:
 			missing = append(missing, n)
 		}
+	}
+	if gone {
+		g.propagateDelete(context.Background(), d)
+		return
 	}
 	if len(missing) == 0 {
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), g.hop)
-	ok, err := g.reg.Client(from).HasVBS(ctx, d.String())
-	cancel()
-	g.observe(from, err)
+	ok, err := g.headVBS(context.Background(), from, d)
+	if server.StatusCode(err) == http.StatusGone {
+		g.propagateDelete(context.Background(), d)
+		return
+	}
 	if err != nil || !ok {
 		return
 	}
+	// Deliberately NOT force: a tombstone written between the HEADs and
+	// this put must win (the 410 reply then finishes the delete's
+	// propagation instead).
 	res := scatter(context.Background(), g, missing, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
 		return c.PutVBS(ctx, data)
 	})
-	healed := false
+	healed, goneOnPut := false, false
 	for _, r := range res {
-		if r.err != nil {
-			g.replicationFails.Add(1)
-		} else {
+		switch {
+		case r.err == nil:
 			g.replicated.Add(1)
 			healed = true
+		case server.StatusCode(r.err) == http.StatusGone:
+			goneOnPut = true
+		default:
+			g.replicationFails.Add(1)
 		}
+	}
+	if goneOnPut {
+		g.propagateDelete(context.Background(), d)
 	}
 	if healed {
 		g.readRepairs.Add(1)
@@ -965,7 +1125,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	alive := len(g.aliveNodes())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"nodes":  g.ring.Len(),
+		"nodes":  g.curRing().Len(),
 		"alive":  alive,
 	})
 }
@@ -975,6 +1135,9 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // NodeStats is one node's occupancy inside the cluster stats block.
 type NodeStats struct {
 	NodeInfo
+	// Mode is the node's membership mode: "active" (on the ring) or
+	// "draining" (being emptied by the rebalancer before removal).
+	Mode string `json:"mode"`
 	// Reachable reports whether the stats scatter got an answer.
 	Reachable bool `json:"reachable"`
 	// Tasks / FreeMacros / StoreEntries / RepoBlobs summarize the
@@ -992,7 +1155,10 @@ type ClusterStats struct {
 	// RingVersion identifies the membership: gateways with equal
 	// versions route identically.
 	RingVersion string `json:"ring_version"`
-	Replicas    int    `json:"replicas"`
+	// MembershipVersion counts runtime membership changes on this
+	// gateway (add, drain, remove) since boot.
+	MembershipVersion uint64 `json:"membership_version"`
+	Replicas          int    `json:"replicas"`
 	// GatewayTasks counts tasks loaded through this gateway.
 	GatewayTasks int `json:"gateway_tasks"`
 	// Traffic counters.
@@ -1004,6 +1170,14 @@ type ClusterStats struct {
 	RepairChecks      uint64 `json:"repair_checks"`
 	ScatterFallbacks  uint64 `json:"scatter_fallbacks"`
 	Scatters          uint64 `json:"scatters"`
+	// Retries counts extra per-hop attempts spent on transport-failure
+	// retries (gateway hops + registry probes).
+	Retries uint64 `json:"retries"`
+	// TombstoneSweeps counts deletes spread fleet-wide after a 410 was
+	// observed mid-repair or mid-rebalance.
+	TombstoneSweeps uint64 `json:"tombstone_sweeps"`
+	// Rebalance reports the background rebalancer's progress.
+	Rebalance RebalanceStats `json:"rebalance"`
 }
 
 // StatsResponse is the gateway's GET /stats body: the single-daemon
@@ -1030,8 +1204,12 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	var out StatsResponse
 	out.UptimeSeconds = time.Since(g.start).Seconds()
 	var meanNumer float64
+	draining := g.drainingSet()
 	for _, info := range g.reg.Snapshot() {
-		ns := NodeStats{NodeInfo: info}
+		ns := NodeStats{NodeInfo: info, Mode: "active"}
+		if draining[info.Name] {
+			ns.Mode = "draining"
+		}
 		if st, ok := byNode[info.Name]; ok {
 			ns.Reachable = true
 			ns.Tasks = st.Tasks
@@ -1088,7 +1266,8 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	g.mu.Lock()
 	out.Cluster.GatewayTasks = len(g.tasks)
 	g.mu.Unlock()
-	out.Cluster.RingVersion = ringVersionString(g.ring)
+	out.Cluster.RingVersion = ringVersionString(g.curRing())
+	out.Cluster.MembershipVersion = g.mshipVer.Load()
 	out.Cluster.Replicas = g.replicas
 	out.Cluster.Proxied = g.proxied.Load()
 	out.Cluster.Replicated = g.replicated.Load()
@@ -1098,6 +1277,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Cluster.RepairChecks = g.repairChecks.Load()
 	out.Cluster.ScatterFallbacks = g.scatterFallbacks.Load()
 	out.Cluster.Scatters = g.scatters.Load()
+	out.Cluster.Retries = g.retries.Load() + g.reg.Retries()
+	out.Cluster.TombstoneSweeps = g.tombstoneSweeps.Load()
+	out.Cluster.Rebalance = g.reb.Stats()
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -66,14 +67,27 @@ type NodeInfo struct {
 	LastError string `json:"last_error,omitempty"`
 }
 
-// Registry tracks the health of a fixed node set by probing /healthz
-// and by demotions reported from the request path (ReportFailure). It
-// owns one server.Client per node; the gateway routes through those.
+// Registry tracks the health of a runtime-mutable node set by probing
+// /healthz and by demotions reported from the request path
+// (ReportFailure). It owns one server.Client per node; the gateway
+// routes through those. Add and Remove mutate the set under the
+// registry lock; the probe loop works off a snapshot, so a membership
+// change mid-round cannot race the node map.
 type Registry struct {
+	mu     sync.RWMutex
 	nodes  []*node          // in configured order
 	byName map[string]*node // name -> entry
-	probe  time.Duration    // probe interval
-	tmo    time.Duration    // per-probe timeout
+
+	hc    *http.Client  // client constructor input for Add
+	probe time.Duration // probe interval
+	tmo   time.Duration // per-probe timeout
+
+	// retryAttempts/retryBase configure per-probe transport retries
+	// (capped exponential backoff + jitter); retries counts the extra
+	// attempts for the gateway's `retries` stat.
+	retryAttempts int
+	retryBase     time.Duration
+	retries       atomic.Uint64
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -93,11 +107,13 @@ func NewRegistry(names []string, hc *http.Client, interval, timeout time.Duratio
 		timeout = time.Second
 	}
 	r := &Registry{
-		byName: make(map[string]*node, len(names)),
-		probe:  interval,
-		tmo:    timeout,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		byName:        make(map[string]*node, len(names)),
+		hc:            hc,
+		probe:         interval,
+		tmo:           timeout,
+		retryAttempts: 1,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 	for _, n := range names {
 		if _, dup := r.byName[n]; dup {
@@ -110,8 +126,82 @@ func NewRegistry(names []string, hc *http.Client, interval, timeout time.Duratio
 	return r
 }
 
+// SetRetry configures per-probe transport retries: up to attempts
+// tries with capped exponential backoff starting at base. attempts
+// <= 1 means single-shot (the default).
+func (r *Registry) SetRetry(attempts int, base time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	r.retryAttempts = attempts
+	r.retryBase = base
+}
+
+// Retries returns how many extra probe attempts retries have used.
+func (r *Registry) Retries() uint64 { return r.retries.Load() }
+
+// Add registers a new node, reporting whether the set grew. The node
+// starts Alive (optimistically: the next probe round corrects it
+// within one interval, and a gateway probes new members immediately).
+func (r *Registry) Add(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return false
+	}
+	e := &node{name: name, client: server.NewClient(name, r.hc)}
+	r.nodes = append(r.nodes, e)
+	r.byName[name] = e
+	return true
+}
+
+// Remove drops a node from the set, reporting whether it was present.
+// An in-flight probe round may still touch the removed entry (it works
+// off a snapshot); that is harmless — the entry is unreachable from
+// the map afterwards.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return false
+	}
+	delete(r.byName, name)
+	for i, n := range r.nodes {
+		if n.name == name {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// lookup resolves a name under the read lock.
+func (r *Registry) lookup(name string) (*node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.byName[name]
+	return n, ok
+}
+
+// snapshot returns the current node entries — the probe loop and every
+// iteration work off this copy so concurrent Add/Remove cannot race.
+func (r *Registry) snapshot() []*node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*node, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
 // Names returns the node names in configured order.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, len(r.nodes))
 	for i, n := range r.nodes {
 		out[i] = n.name
@@ -119,9 +209,10 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// Client returns the client for a node (nil for unknown names).
+// Client returns the client for a node (nil for unknown names — a
+// caller holding a name across a Remove must tolerate that).
 func (r *Registry) Client(name string) *server.Client {
-	if n, ok := r.byName[name]; ok {
+	if n, ok := r.lookup(name); ok {
 		return n.client
 	}
 	return nil
@@ -129,7 +220,7 @@ func (r *Registry) Client(name string) *server.Client {
 
 // State returns a node's current health (Down for unknown names).
 func (r *Registry) State(name string) State {
-	n, ok := r.byName[name]
+	n, ok := r.lookup(name)
 	if !ok {
 		return Down
 	}
@@ -147,7 +238,7 @@ func (r *Registry) Alive(name string) bool { return r.State(name) != Down }
 // the gateway, demoting the node exactly like a failed probe so
 // failover does not wait for the next probe tick.
 func (r *Registry) ReportFailure(name string, err error) {
-	if n, ok := r.byName[name]; ok {
+	if n, ok := r.lookup(name); ok {
 		n.fail(err)
 	}
 }
@@ -155,7 +246,7 @@ func (r *Registry) ReportFailure(name string, err error) {
 // ReportSuccess marks a node alive from the request path (any
 // successful HTTP exchange proves liveness, including 4xx replies).
 func (r *Registry) ReportSuccess(name string) {
-	if n, ok := r.byName[name]; ok {
+	if n, ok := r.lookup(name); ok {
 		n.ok(false)
 	}
 }
@@ -188,16 +279,32 @@ func (n *node) fail(err error) {
 // ProbeAll probes every node once, synchronously (all nodes in
 // parallel, bounded by the probe timeout). The gateway calls it at
 // startup so the first request already sees real states; the probe
-// loop calls it every interval.
+// loop calls it every interval. The round works off a snapshot of the
+// node set, so a concurrent Add/Remove cannot race the map — a node
+// added mid-round is probed next round, a removed one is probed once
+// more into the void, harmlessly.
 func (r *Registry) ProbeAll(ctx context.Context) {
+	r.mu.RLock()
+	attempts, base := r.retryAttempts, r.retryBase
+	r.mu.RUnlock()
 	var wg sync.WaitGroup
-	for _, n := range r.nodes {
+	for _, n := range r.snapshot() {
 		wg.Add(1)
 		go func(n *node) {
 			defer wg.Done()
-			pctx, cancel := context.WithTimeout(ctx, r.tmo)
-			defer cancel()
-			err := n.client.Health(pctx)
+			var err error
+			for a := 0; ; a++ {
+				pctx, cancel := context.WithTimeout(ctx, r.tmo)
+				err = n.client.Health(pctx)
+				cancel()
+				if err == nil || a+1 >= attempts || ctx.Err() != nil {
+					break
+				}
+				// A transient transport blip should not start the
+				// suspect→down clock: retry within the round.
+				r.retries.Add(1)
+				backoffSleep(ctx, base, a)
+			}
 			n.mu.Lock()
 			n.lastProbe = time.Now()
 			n.mu.Unlock()
@@ -244,8 +351,9 @@ func (r *Registry) Stop() {
 // Snapshot returns per-node health for the cluster stats block, in
 // configured order.
 func (r *Registry) Snapshot() []NodeInfo {
-	out := make([]NodeInfo, len(r.nodes))
-	for i, n := range r.nodes {
+	nodes := r.snapshot()
+	out := make([]NodeInfo, len(nodes))
+	for i, n := range nodes {
 		n.mu.Lock()
 		info := NodeInfo{Name: n.name, State: n.state.String(), LastProbeMS: -1, LastError: n.lastErr}
 		if !n.lastProbe.IsZero() {

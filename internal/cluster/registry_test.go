@@ -1,7 +1,10 @@
 package cluster_test
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -68,6 +71,66 @@ func TestRegistryRequestPathDemotion(t *testing.T) {
 
 	if got := reg.State("http://unknown:1"); got != cluster.Down {
 		t.Fatalf("unknown node state = %v, want down", got)
+	}
+}
+
+// TestRegistryConcurrentAddRemove hammers runtime membership changes
+// against concurrent probe rounds and lookups — the probe loop must
+// work off a snapshot of the node set, so this is clean under -race
+// (the CI race matrix runs it).
+func TestRegistryConcurrentAddRemove(t *testing.T) {
+	n := newNode(t, 1, server.Options{})
+	reg := cluster.NewRegistry([]string{n.url}, nil, time.Hour, 50*time.Millisecond)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("http://127.0.0.1:%d", 40000+w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					reg.Add(name)
+				} else {
+					reg.Remove(name)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.ProbeAll(context.Background())
+			reg.Names()
+			reg.Client(n.url)
+			reg.Snapshot()
+			reg.ReportSuccess(n.url)
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if reg.Client(n.url) == nil {
+		t.Fatal("original node lost during concurrent churn")
+	}
+	if !reg.Add("http://127.0.0.1:49999") {
+		t.Fatal("add after churn failed")
+	}
+	if !reg.Remove("http://127.0.0.1:49999") {
+		t.Fatal("remove after churn failed")
 	}
 }
 

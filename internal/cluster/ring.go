@@ -105,6 +105,91 @@ func NewRing(nodes []string, vnodes int) *Ring {
 // shared; callers must not mutate it.
 func (r *Ring) Nodes() []string { return r.nodes }
 
+// Has reports whether a node is on the ring.
+func (r *Ring) Has(name string) bool {
+	i := sort.SearchStrings(r.nodes, name)
+	return i < len(r.nodes) && r.nodes[i] == name
+}
+
+// WithNode returns a new ring with one node added, leaving the
+// receiver untouched (copy-on-write: runtime membership changes swap
+// ring pointers, they never mutate a ring a request may be routing
+// on). The existing nodes' virtual-node hashes are reused — only the
+// new node's vnodes are hashed — and the result is bit-identical to
+// NewRing over the grown membership, so every gateway that hears of
+// the change independently converges to the same Version.
+func (r *Ring) WithNode(name string) *Ring {
+	if r.Has(name) {
+		return r
+	}
+	at := sort.SearchStrings(r.nodes, name)
+	nodes := make([]string, 0, len(r.nodes)+1)
+	nodes = append(nodes, r.nodes[:at]...)
+	nodes = append(nodes, name)
+	nodes = append(nodes, r.nodes[at:]...)
+	nr := &Ring{
+		vnodes: r.vnodes,
+		nodes:  nodes,
+		points: make([]point, 0, len(nodes)*r.vnodes),
+	}
+	// Old points survive with shifted indices; only `name` is hashed.
+	for _, p := range r.points {
+		if p.node >= int32(at) {
+			p.node++
+		}
+		nr.points = append(nr.points, p)
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for v := 0; v < r.vnodes; v++ {
+		h.Reset()
+		h.Write([]byte(name))
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+		sum := h.Sum(nil)
+		nr.points = append(nr.points, point{
+			hash: binary.BigEndian.Uint64(sum),
+			node: int32(at),
+		})
+	}
+	sort.Slice(nr.points, func(a, b int) bool {
+		if nr.points[a].hash != nr.points[b].hash {
+			return nr.points[a].hash < nr.points[b].hash
+		}
+		return nr.points[a].node < nr.points[b].node
+	})
+	return nr
+}
+
+// WithoutNode returns a new ring with one node removed (receiver
+// untouched; see WithNode). Removing the last node yields an empty
+// ring, on which every Lookup returns nil.
+func (r *Ring) WithoutNode(name string) *Ring {
+	if !r.Has(name) {
+		return r
+	}
+	at := sort.SearchStrings(r.nodes, name)
+	nodes := make([]string, 0, len(r.nodes)-1)
+	nodes = append(nodes, r.nodes[:at]...)
+	nodes = append(nodes, r.nodes[at+1:]...)
+	nr := &Ring{
+		vnodes: r.vnodes,
+		nodes:  nodes,
+		points: make([]point, 0, len(nodes)*r.vnodes),
+	}
+	// Dropping points preserves their sorted order; no re-sort needed.
+	for _, p := range r.points {
+		switch {
+		case p.node == int32(at):
+			continue
+		case p.node > int32(at):
+			p.node--
+		}
+		nr.points = append(nr.points, p)
+	}
+	return nr
+}
+
 // Len returns the number of physical nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
 

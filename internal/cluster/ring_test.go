@@ -142,6 +142,130 @@ func TestRingMinimalReshuffle(t *testing.T) {
 	})
 }
 
+// TestRingCopyOnWrite: WithNode/WithoutNode must be bit-identical to
+// rebuilding the ring over the changed membership (same Version, same
+// routing) and must leave the receiver untouched — requests in flight
+// keep routing on the old snapshot.
+func TestRingCopyOnWrite(t *testing.T) {
+	names := nodeNames(6)
+	extra := "http://node-new:8931"
+	base := cluster.NewRing(names, 0)
+	baseVer := base.Version()
+
+	grown := base.WithNode(extra)
+	want := cluster.NewRing(append(append([]string(nil), names...), extra), 0)
+	if grown.Version() != want.Version() {
+		t.Fatalf("WithNode version %x, NewRing version %x", grown.Version(), want.Version())
+	}
+	if base.Version() != baseVer || base.Has(extra) {
+		t.Fatal("WithNode mutated the receiver")
+	}
+	for _, d := range sampleDigests(1000) {
+		a, b := grown.Lookup(d, 3), want.Lookup(d, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("WithNode routes %s differently: %v vs %v", d.Short(), a, b)
+			}
+		}
+	}
+
+	// Idempotence and no-op removal return the receiver's routing.
+	if grown.WithNode(extra).Version() != grown.Version() {
+		t.Error("re-adding a member changed the version")
+	}
+	if base.WithoutNode(extra).Version() != baseVer {
+		t.Error("removing a non-member changed the version")
+	}
+
+	shrunk := grown.WithoutNode(extra)
+	if shrunk.Version() != baseVer {
+		t.Fatalf("add-then-remove version %x, want round-trip to %x", shrunk.Version(), baseVer)
+	}
+	for _, d := range sampleDigests(1000) {
+		a, b := shrunk.Lookup(d, 3), base.Lookup(d, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("add-then-remove routes %s differently", d.Short())
+			}
+		}
+	}
+
+	// Shrinking to empty must not panic and must return no owners.
+	empty := cluster.NewRing([]string{names[0]}, 0).WithoutNode(names[0])
+	if empty.Len() != 0 || empty.Lookup(sampleDigests(1)[0], 2) != nil {
+		t.Error("empty ring after WithoutNode still returns owners")
+	}
+}
+
+// TestRingCopyOnWriteMinimalReshuffle: the COW add must keep the
+// consistent-hash guarantee — only ~1/N of keys remap (we allow 1.5x
+// the ideal fraction, like the rebuild test above).
+func TestRingCopyOnWriteMinimalReshuffle(t *testing.T) {
+	const nNodes, nKeys = 8, 4000
+	base := cluster.NewRing(nodeNames(nNodes), 0)
+	grown := base.WithNode("http://node-new:8931")
+	moved := 0
+	for _, d := range sampleDigests(nKeys) {
+		if base.Owner(d) != grown.Owner(d) {
+			moved++
+		}
+	}
+	ideal := float64(nKeys) / float64(nNodes+1)
+	if f := float64(moved); f > 1.5*ideal {
+		t.Errorf("WithNode remapped %d/%d keys (%.1f%%), ideal %.1f%%",
+			moved, nKeys, 100*f/nKeys, 100*ideal/nKeys)
+	}
+	if moved == 0 {
+		t.Error("WithNode remapped nothing: new node owns no keys")
+	}
+}
+
+// TestRingReplicaFloorMidTransition: across a single-node membership
+// change, every digest's replica set keeps its full min(R, alive)
+// size on both rings, and at most one member of the set changes — so
+// a blob replicated to R nodes never has fewer than min(R, alive)-1
+// copies reachable while gateways disagree about the membership, and
+// never fewer than min(R, alive) once they converge.
+func TestRingReplicaFloorMidTransition(t *testing.T) {
+	const replicas = 3
+	names := nodeNames(5)
+	base := cluster.NewRing(names, 0)
+	for _, tc := range []struct {
+		name string
+		next *cluster.Ring
+	}{
+		{"add", base.WithNode("http://node-new:8931")},
+		{"remove", base.WithoutNode(names[2])},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wantOld := min(replicas, base.Len())
+			wantNew := min(replicas, tc.next.Len())
+			for _, d := range sampleDigests(2000) {
+				old := base.Lookup(d, replicas)
+				now := tc.next.Lookup(d, replicas)
+				if len(old) != wantOld || len(now) != wantNew {
+					t.Fatalf("digest %s: set sizes %d/%d, want %d/%d",
+						d.Short(), len(old), len(now), wantOld, wantNew)
+				}
+				common := map[string]bool{}
+				for _, n := range old {
+					common[n] = true
+				}
+				kept := 0
+				for _, n := range now {
+					if common[n] {
+						kept++
+					}
+				}
+				if kept < min(wantOld, wantNew)-1 {
+					t.Fatalf("digest %s: only %d replicas survive the transition (%v -> %v)",
+						d.Short(), kept, old, now)
+				}
+			}
+		})
+	}
+}
+
 // TestRingReplicaSurvivesMembershipChange: when a node is removed,
 // every digest that replicated onto a surviving node keeps that
 // survivor in its new replica set — the property that lets failover

@@ -116,6 +116,8 @@ type ScanReport struct {
 	Quarantined int `json:"quarantined"`
 	// TempRemoved counts stale in-flight temp files deleted.
 	TempRemoved int `json:"temp_removed"`
+	// Tombstones counts live delete tombstones loaded from disk.
+	Tombstones int `json:"tombstones"`
 	// Bytes is the total payload bytes of recovered blobs.
 	Bytes int64 `json:"bytes"`
 }
@@ -138,6 +140,8 @@ type Stats struct {
 	// including failures forced through the fault-injection seam.
 	WriteErrors uint64 `json:"write_errors"`
 	ReadErrors  uint64 `json:"read_errors"`
+	// Tombstones counts live delete tombstones (see tombstone.go).
+	Tombstones int `json:"tombstones"`
 }
 
 // BlobStat describes one stored blob in List.
@@ -155,6 +159,7 @@ type Repo struct {
 
 	mu    sync.RWMutex
 	index map[Digest]int64 // payload bytes per blob
+	tombs map[Digest]int64 // unix expiry (seconds) per tombstoned digest
 	bytes int64
 
 	scan        ScanReport
@@ -172,7 +177,12 @@ type Repo struct {
 // Open roots a repository at dir, creating the directory tree when
 // absent (unless read-only) and running the recovery scan.
 func Open(dir string, opts Options) (*Repo, error) {
-	r := &Repo{dir: dir, ro: opts.ReadOnly, index: make(map[Digest]int64)}
+	r := &Repo{
+		dir:   dir,
+		ro:    opts.ReadOnly,
+		index: make(map[Digest]int64),
+		tombs: make(map[Digest]int64),
+	}
 	if r.ro {
 		// A read-only open of a path that is not a directory must fail
 		// loudly: "verified 0 blobs OK" on a typo'd -dir would let a
@@ -186,7 +196,7 @@ func Open(dir string, opts Options) (*Repo, error) {
 			return nil, fmt.Errorf("repo: %s is not a directory", dir)
 		}
 	} else {
-		for _, sub := range []string{"", tmpDir, quarantineDir} {
+		for _, sub := range []string{"", tmpDir, quarantineDir, tombstoneDir} {
 			if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 				return nil, fmt.Errorf("repo: %w", err)
 			}
@@ -195,6 +205,7 @@ func Open(dir string, opts Options) (*Repo, error) {
 	if err := r.recover(); err != nil {
 		return nil, err
 	}
+	r.loadTombstones()
 	return r, nil
 }
 
@@ -242,7 +253,7 @@ func (r *Repo) recover() error {
 			return err
 		}
 		if d.IsDir() {
-			if path == tmpDir || path == quarantineDir {
+			if path == tmpDir || path == quarantineDir || path == tombstoneDir {
 				return fs.SkipDir
 			}
 			return nil
@@ -362,7 +373,7 @@ func (r *Repo) Put(data []byte) (Digest, bool, error) {
 // write is atomic: temp file → fsync → rename → fsync directory.
 func (r *Repo) PutDigest(d Digest, data []byte) (existed bool, err error) {
 	existed, err = r.putDigest(d, data)
-	if err != nil && !errors.Is(err, ErrReadOnly) {
+	if err != nil && !errors.Is(err, ErrReadOnly) && !errors.Is(err, ErrTombstoned) {
 		r.mu.Lock()
 		r.writeErrors++
 		r.mu.Unlock()
@@ -379,6 +390,9 @@ func (r *Repo) putDigest(d Digest, data []byte) (existed bool, err error) {
 	r.mu.RUnlock()
 	if ok {
 		return true, nil
+	}
+	if r.HasTombstone(d) {
+		return false, fmt.Errorf("repo: put %s: %w", d.Short(), ErrTombstoned)
 	}
 	if f := r.faults.Load(); f != nil && f.FailPuts {
 		return false, fmt.Errorf("repo: write %s: %w", d.Short(), ErrInjected)
@@ -561,6 +575,7 @@ func (r *Repo) Stats() Stats {
 		Quarantined: r.quarantined,
 		WriteErrors: r.writeErrors,
 		ReadErrors:  r.readErrors,
+		Tombstones:  len(r.tombs),
 	}
 }
 

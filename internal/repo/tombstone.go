@@ -1,0 +1,196 @@
+package repo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Tombstones make deletes sticky in a replicated fleet. A lone
+// Delete only removes local bytes: read-repair or a rebalance pass on
+// another node still holds the blob and would happily copy it back.
+// DELETE therefore also records a tombstone — a tiny file next to the
+// blob shards — and PutDigest refuses tombstoned digests until the
+// tombstone expires or an explicit user write clears it. The TTL
+// bounds how long a delete must be remembered: once every replica has
+// observed it (rebalance propagates tombstones fleet-wide), the
+// record is pure debris and a housekeeping sweep reclaims it.
+//
+// Layout: <dir>/tombstones/<digest>.ts, payload the decimal unix
+// expiry time in seconds. Writes go through the same temp → rename
+// sequence as blobs so a crash never leaves a half-written record.
+
+const (
+	tombstoneDir = "tombstones"
+	tombstoneExt = ".ts"
+)
+
+// DefaultTombstoneTTL is how long a delete is remembered when the
+// caller does not choose: long enough for every rebalance/repair pass
+// to observe it, short enough that the digest is reusable next day.
+const DefaultTombstoneTTL = 24 * time.Hour
+
+// ErrTombstoned reports a Put refused because the digest was recently
+// deleted. Callers that act on explicit user intent clear the
+// tombstone first; automated copiers (read-repair, rebalance) treat
+// it as "stay dead".
+var ErrTombstoned = errors.New("repo: digest tombstoned")
+
+// TombstoneInfo describes one live tombstone.
+type TombstoneInfo struct {
+	Digest Digest `json:"digest"`
+	// Expires is the unix time (seconds) after which the tombstone no
+	// longer blocks writes.
+	Expires int64 `json:"expires"`
+}
+
+func (r *Repo) tombstonePath(d Digest) string {
+	return filepath.Join(r.dir, tombstoneDir, d.String()+tombstoneExt)
+}
+
+// loadTombstones indexes the tombstone directory during Open,
+// dropping expired or malformed records (when writable).
+func (r *Repo) loadTombstones() {
+	ents, err := os.ReadDir(filepath.Join(r.dir, tombstoneDir))
+	if err != nil {
+		return
+	}
+	now := time.Now().Unix()
+	for _, e := range ents {
+		name, ok := strings.CutSuffix(e.Name(), tombstoneExt)
+		full := filepath.Join(r.dir, tombstoneDir, e.Name())
+		if !ok {
+			continue
+		}
+		d, derr := ParseDigest(name)
+		raw, rerr := os.ReadFile(full)
+		exp, perr := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+		if derr != nil || rerr != nil || perr != nil || exp <= now {
+			if !r.ro {
+				_ = os.Remove(full)
+			}
+			continue
+		}
+		r.tombs[d] = exp
+		r.scan.Tombstones++
+	}
+}
+
+// Tombstone records that a digest was deleted and must not be
+// re-admitted by automated copies until the TTL passes. ttl <= 0
+// selects DefaultTombstoneTTL. Tombstoning a digest that is still
+// stored is allowed — the caller deletes the blob afterwards, and
+// ordering it this way closes the window where a concurrent repair
+// could re-persist the blob between the delete and the tombstone.
+func (r *Repo) Tombstone(d Digest, ttl time.Duration) error {
+	if r.ro {
+		return ErrReadOnly
+	}
+	if ttl <= 0 {
+		ttl = DefaultTombstoneTTL
+	}
+	exp := time.Now().Add(ttl).Unix()
+	final := r.tombstonePath(d)
+	tmp, err := os.CreateTemp(filepath.Join(r.dir, tmpDir), d.Short()+".ts.*")
+	if err != nil {
+		return fmt.Errorf("repo: tombstone %s: %w", d.Short(), err)
+	}
+	_, err = fmt.Fprintf(tmp, "%d\n", exp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), final)
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("repo: tombstone %s: %w", d.Short(), err)
+	}
+	syncDir(filepath.Dir(final))
+
+	r.mu.Lock()
+	r.tombs[d] = exp
+	r.mu.Unlock()
+	return nil
+}
+
+// HasTombstone reports whether an unexpired tombstone blocks the
+// digest. Expired records stop blocking immediately; their files are
+// reclaimed by ExpireTombstones.
+func (r *Repo) HasTombstone(d Digest) bool {
+	r.mu.RLock()
+	exp, ok := r.tombs[d]
+	r.mu.RUnlock()
+	return ok && exp > time.Now().Unix()
+}
+
+// ClearTombstone removes a digest's tombstone, if any. It expresses
+// explicit user intent ("store this again"), so it is the one path
+// allowed to shorten a tombstone's life.
+func (r *Repo) ClearTombstone(d Digest) error {
+	if r.ro {
+		return ErrReadOnly
+	}
+	r.mu.Lock()
+	_, ok := r.tombs[d]
+	delete(r.tombs, d)
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(r.tombstonePath(d)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("repo: clear tombstone %s: %w", d.Short(), err)
+	}
+	return nil
+}
+
+// Tombstones lists live (unexpired) tombstones sorted by digest.
+func (r *Repo) Tombstones() []TombstoneInfo {
+	now := time.Now().Unix()
+	r.mu.RLock()
+	out := make([]TombstoneInfo, 0, len(r.tombs))
+	for d, exp := range r.tombs {
+		if exp > now {
+			out = append(out, TombstoneInfo{Digest: d, Expires: exp})
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		return bytes.Compare(out[a].Digest[:], out[b].Digest[:]) < 0
+	})
+	return out
+}
+
+// ExpireTombstones drops every expired tombstone record and its file,
+// returning how many were reclaimed. The housekeeping sweep calls
+// this periodically; correctness does not depend on it (HasTombstone
+// ignores expired records either way).
+func (r *Repo) ExpireTombstones() (int, error) {
+	if r.ro {
+		return 0, ErrReadOnly
+	}
+	now := time.Now().Unix()
+	var dead []Digest
+	r.mu.Lock()
+	for d, exp := range r.tombs {
+		if exp <= now {
+			delete(r.tombs, d)
+			dead = append(dead, d)
+		}
+	}
+	r.mu.Unlock()
+	for _, d := range dead {
+		_ = os.Remove(r.tombstonePath(d))
+	}
+	return len(dead), nil
+}

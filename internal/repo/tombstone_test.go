@@ -1,0 +1,149 @@
+package repo
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTombstoneBlocksPut(t *testing.T) {
+	r, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("doomed blob")
+	d, _, err := r.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Tombstone(d, time.Hour); err != nil {
+		t.Fatalf("Tombstone: %v", err)
+	}
+	if err := r.Delete(d); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !r.HasTombstone(d) {
+		t.Fatal("tombstone not visible")
+	}
+	if _, _, err := r.Put(data); !errors.Is(err, ErrTombstoned) {
+		t.Fatalf("Put after tombstone: err = %v, want ErrTombstoned", err)
+	}
+	// A tombstoned put is a policy refusal, not an I/O failure.
+	if got := r.Stats().WriteErrors; got != 0 {
+		t.Fatalf("WriteErrors = %d after tombstoned put, want 0", got)
+	}
+	if err := r.ClearTombstone(d); err != nil {
+		t.Fatalf("ClearTombstone: %v", err)
+	}
+	if _, _, err := r.Put(data); err != nil {
+		t.Fatalf("Put after clear: %v", err)
+	}
+}
+
+func TestTombstonePersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("persistent tombstone")
+	d := DigestOf(data)
+	if err := r.Tombstone(d, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.HasTombstone(d) {
+		t.Fatal("tombstone lost across Open")
+	}
+	if r2.ScanReport().Tombstones != 1 {
+		t.Fatalf("scan tombstones = %d, want 1", r2.ScanReport().Tombstones)
+	}
+	if _, _, err := r2.Put(data); !errors.Is(err, ErrTombstoned) {
+		t.Fatalf("Put after reopen: err = %v, want ErrTombstoned", err)
+	}
+	ts := r2.Tombstones()
+	if len(ts) != 1 || ts[0].Digest != d {
+		t.Fatalf("Tombstones() = %+v, want [%s]", ts, d.Short())
+	}
+}
+
+func TestTombstoneExpiry(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("short-lived tombstone")
+	d := DigestOf(data)
+	if err := r.Tombstone(d, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the record on disk and in memory: expiry is whole unix
+	// seconds, so a real wait would make the test slow.
+	if err := os.WriteFile(r.tombstonePath(d), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	r.tombs[d] = 1
+	r.mu.Unlock()
+
+	if r.HasTombstone(d) {
+		t.Fatal("expired tombstone still blocks")
+	}
+	if _, _, err := r.Put(data); err != nil {
+		t.Fatalf("Put after expiry: %v", err)
+	}
+	n, err := r.ExpireTombstones()
+	if err != nil || n != 1 {
+		t.Fatalf("ExpireTombstones = %d, %v; want 1, nil", n, err)
+	}
+	if _, err := os.Stat(r.tombstonePath(d)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tombstone file survived sweep: %v", err)
+	}
+
+	// An expired record on disk must not resurrect the block at Open.
+	if err := os.WriteFile(filepath.Join(dir, tombstoneDir, d.String()+tombstoneExt), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.HasTombstone(d) {
+		t.Fatal("expired tombstone reloaded as live")
+	}
+}
+
+func TestTombstoneReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DigestOf([]byte("ro"))
+	if err := r.Tombstone(d, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.HasTombstone(d) {
+		t.Fatal("read-only open lost tombstone")
+	}
+	if err := ro.Tombstone(d, time.Hour); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Tombstone on read-only: %v", err)
+	}
+	if err := ro.ClearTombstone(d); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ClearTombstone on read-only: %v", err)
+	}
+	if _, err := ro.ExpireTombstones(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ExpireTombstones on read-only: %v", err)
+	}
+}

@@ -220,11 +220,22 @@ func (c *Client) Health(ctx context.Context) error {
 }
 
 // PutVBS admits a container into the daemon's store without placing a
-// task (POST /vbs) — the gateway's replication primitive.
+// task (POST /vbs) — the gateway's replication primitive. A delete
+// tombstone refuses the put with 410 Gone; see PutVBSForce.
 func (c *Client) PutVBS(ctx context.Context, container []byte) (PutVBSResponse, error) {
+	return c.putVBS(ctx, container, false)
+}
+
+// PutVBSForce is PutVBS with the tombstone override: an explicit user
+// write that lifts any delete tombstone before admitting.
+func (c *Client) PutVBSForce(ctx context.Context, container []byte) (PutVBSResponse, error) {
+	return c.putVBS(ctx, container, true)
+}
+
+func (c *Client) putVBS(ctx context.Context, container []byte, force bool) (PutVBSResponse, error) {
 	var out PutVBSResponse
 	err := c.do(ctx, http.MethodPost, "/vbs",
-		PutVBSRequest{VBS: base64.StdEncoding.EncodeToString(container)}, &out)
+		PutVBSRequest{VBS: base64.StdEncoding.EncodeToString(container), Force: force}, &out)
 	return out, err
 }
 
@@ -291,8 +302,9 @@ func (c *Client) SetFaults(ctx context.Context, f ChaosFaults) error {
 	return c.do(ctx, http.MethodPost, "/chaos/faults", f, nil)
 }
 
-// DeleteVBS drops a stored blob from both tiers. The daemon refuses
-// (409) while any live task references the digest.
+// DeleteVBS drops a stored blob from both tiers and records a delete
+// tombstone so automated re-replication cannot resurrect it. The
+// daemon refuses (409) while any live task references the digest.
 func (c *Client) DeleteVBS(digest string) error {
 	return c.DeleteVBSCtx(context.Background(), digest)
 }
@@ -300,4 +312,19 @@ func (c *Client) DeleteVBS(digest string) error {
 // DeleteVBSCtx is DeleteVBS bounded by ctx.
 func (c *Client) DeleteVBSCtx(ctx context.Context, digest string) error {
 	return c.do(ctx, http.MethodDelete, "/vbs/"+digest, nil, nil)
+}
+
+// TrimVBS physically removes a blob without tombstoning — the
+// rebalancer's primitive for dropping a surplus replica whose digest
+// must stay storable elsewhere. Refused (409) while tasks reference
+// the digest.
+func (c *Client) TrimVBS(ctx context.Context, digest string) error {
+	return c.do(ctx, http.MethodDelete, "/vbs/"+digest+"?trim=1", nil, nil)
+}
+
+// Tombstones lists the node's live delete tombstones.
+func (c *Client) Tombstones(ctx context.Context) ([]TombstoneInfo, error) {
+	var out []TombstoneInfo
+	err := c.do(ctx, http.MethodGet, "/tombstones", nil, &out)
+	return out, err
 }

@@ -85,6 +85,11 @@ type Options struct {
 	// disk tier's fault-injection seam over HTTP. For chaos testing
 	// only — never enable on a production daemon.
 	EnableChaos bool
+	// TombstoneTTL is how long DELETE /vbs tombstones block automated
+	// re-admission of a deleted digest (0 = repo.DefaultTombstoneTTL).
+	// Only meaningful with a data dir: tombstones live in the disk
+	// tier.
+	TombstoneTTL time.Duration
 }
 
 // DefaultMaxBodyBytes is the request-body bound applied when
@@ -103,6 +108,7 @@ type Server struct {
 	policy  sched.Policy
 	maxBody int64
 	chaos   bool
+	tombTTL time.Duration
 	start   time.Time
 
 	mu     sync.Mutex
@@ -162,6 +168,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 		policy:  pol,
 		maxBody: maxBody,
 		chaos:   opts.EnableChaos,
+		tombTTL: opts.TombstoneTTL,
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
 		pending: make(map[store.Digest]int),
@@ -181,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /vbs", s.handleListVBS)
 	mux.HandleFunc("GET /vbs/{digest}", s.handleGetVBS)
 	mux.HandleFunc("DELETE /vbs/{digest}", s.handleDeleteVBS)
+	mux.HandleFunc("GET /tombstones", s.handleTombstones)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -257,9 +265,15 @@ func DecodeJSONBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v an
 
 // writePutError reports a store.Put failure: disk-tier I/O failures
 // are the server's fault — 500, worded as such, and a cluster
-// gateway fails the load over to another node — while everything
-// else is a malformed container, 400.
+// gateway fails the load over to another node — while a tombstone
+// refusal is 410 Gone (the digest was deleted; automated copiers must
+// not resurrect it) and everything else is a malformed container,
+// 400.
 func writePutError(w http.ResponseWriter, err error) {
+	if errors.Is(err, repo.ErrTombstoned) {
+		writeError(w, http.StatusGone, "vbs deleted: %v", err)
+		return
+	}
 	if errors.Is(err, store.ErrDisk) {
 		writeError(w, http.StatusInternalServerError, "cannot persist vbs: %v", err)
 		return
@@ -323,6 +337,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 	}()
+	// A load is explicit user intent to run these bytes: it overrides
+	// any delete tombstone left by an earlier DELETE /vbs.
+	if err := s.store.ClearTombstone(digest); err != nil {
+		writeError(w, http.StatusInternalServerError, "cannot clear tombstone: %v", err)
+		return
+	}
 	ent, _, err := s.store.Put(data)
 	if err != nil {
 		writePutError(w, err)
@@ -636,6 +656,15 @@ func (s *Server) handlePutVBS(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
 		return
 	}
+	if req.Force {
+		// Explicit user intent ("store this again") lifts a delete
+		// tombstone; automated copiers (read-repair, rebalance) omit
+		// Force and get refused with 410 instead.
+		if err := s.store.ClearTombstone(store.DigestOf(data)); err != nil {
+			writeError(w, http.StatusInternalServerError, "cannot clear tombstone: %v", err)
+			return
+		}
+	}
 	ent, existed, err := s.store.Put(data)
 	if err != nil {
 		writePutError(w, err)
@@ -685,6 +714,13 @@ func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 	data, err := s.store.GetData(d)
 	switch {
 	case errors.Is(err, store.ErrNotFound):
+		if s.store.Tombstoned(d) {
+			// Deleted, and the delete is still being remembered: 410
+			// tells gateways "stay dead" where 404 would mean "repair
+			// me from another replica".
+			writeError(w, http.StatusGone, "vbs %s deleted", d.Short())
+			return
+		}
 		writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
 		return
 	case err != nil:
@@ -704,11 +740,20 @@ func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 // check and the delete run under one lock so a load registering
 // between them cannot be orphaned; loads that have admitted the
 // digest but not yet registered count via s.pending.
+//
+// By default the delete also records a tombstone — before removing
+// the bytes, so no repair can slip a copy back in between the two —
+// and it does so even when the blob is absent: a gateway fans deletes
+// out to every node precisely so that an in-flight rebalance copy
+// landing afterwards is refused. ?trim=1 skips the tombstone: a
+// physical trim of a surplus replica (the rebalancer's move
+// primitive), not a logical delete of the digest.
 func (s *Server) handleDeleteVBS(w http.ResponseWriter, r *http.Request) {
 	d, ok := digestFromPath(w, r)
 	if !ok {
 		return
 	}
+	trim := r.URL.Query().Get("trim") != ""
 	s.mu.Lock()
 	refs := s.pending[d]
 	for _, t := range s.tasks {
@@ -724,7 +769,13 @@ func (s *Server) handleDeleteVBS(w http.ResponseWriter, r *http.Request) {
 	// Deleting under s.mu stalls task registration for the duration of
 	// one disk unlink — acceptable for a rare admin operation, and the
 	// price of making "referenced" and "deleted" mutually exclusive.
-	err := s.store.Delete(d)
+	var err error
+	if !trim {
+		err = s.store.Tombstone(d, s.tombTTL)
+	}
+	if err == nil {
+		err = s.store.Delete(d)
+	}
 	s.mu.Unlock()
 	switch {
 	case errors.Is(err, store.ErrNotFound):
@@ -736,6 +787,21 @@ func (s *Server) handleDeleteVBS(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
+
+// handleTombstones lists the node's live delete tombstones — the
+// rebalancer reads them to propagate deletes fleet-wide.
+func (s *Server) handleTombstones(w http.ResponseWriter, r *http.Request) {
+	ts := s.store.Tombstones()
+	out := make([]TombstoneInfo, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, TombstoneInfo{Digest: t.Digest.String(), Expires: t.Expires})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SweepTombstones reclaims expired delete tombstones — vbsd's
+// housekeeping ticker calls it so records do not pile up forever.
+func (s *Server) SweepTombstones() (int, error) { return s.store.ExpireTombstones() }
 
 // Flush writes any RAM-only blobs through to the disk tier — called
 // by vbsd on graceful shutdown (a safety net over the write-through
@@ -804,6 +870,7 @@ func (s *Server) Stats() StatsResponse {
 		ri.Writes = ds.Writes
 		ri.WriteErrors = ds.WriteErrors
 		ri.ReadErrors = ds.ReadErrors
+		ri.Tombstones = ds.Tombstones
 	}
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),

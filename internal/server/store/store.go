@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/repo"
@@ -150,6 +151,13 @@ func (s *Store) Put(data []byte) (ent *Entry, existed bool, err error) {
 	if s.disk != nil {
 		de, err := s.disk.PutDigest(d, ent.Data)
 		if err != nil {
+			// A tombstone refusal is a policy verdict, not an I/O
+			// failure: it must stay distinguishable from ErrDisk so HTTP
+			// callers answer 410 Gone rather than 500 (which a gateway
+			// would treat as "try another replica").
+			if errors.Is(err, repo.ErrTombstoned) {
+				return nil, false, err
+			}
 			return nil, false, fmt.Errorf("%w: %w", ErrDisk, err)
 		}
 		diskExisted = de
@@ -298,6 +306,47 @@ func (s *Store) Delete(d Digest) error {
 		return ErrNotFound
 	}
 	return nil
+}
+
+// Tombstoned reports whether an unexpired delete tombstone blocks the
+// digest (always false without a disk tier).
+func (s *Store) Tombstoned(d Digest) bool {
+	return s.disk != nil && s.disk.HasTombstone(d)
+}
+
+// Tombstone records a delete tombstone in the disk tier so automated
+// re-replication cannot resurrect the digest until the TTL passes.
+// Without a disk tier there is nothing durable to refuse with, so it
+// is a no-op.
+func (s *Store) Tombstone(d Digest, ttl time.Duration) error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Tombstone(d, ttl)
+}
+
+// ClearTombstone lifts a delete tombstone (explicit user intent).
+func (s *Store) ClearTombstone(d Digest) error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.ClearTombstone(d)
+}
+
+// Tombstones lists live tombstones from the disk tier.
+func (s *Store) Tombstones() []repo.TombstoneInfo {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Tombstones()
+}
+
+// ExpireTombstones reclaims expired tombstone records.
+func (s *Store) ExpireTombstones() (int, error) {
+	if s.disk == nil {
+		return 0, nil
+	}
+	return s.disk.ExpireTombstones()
 }
 
 // List merges both tiers into one blob listing sorted by digest.

@@ -1,0 +1,112 @@
+package server_test
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/repo"
+	"repro/internal/server"
+)
+
+// TestTombstoneHTTPSemantics pins the node-side delete-tombstone
+// contract the cluster layer builds on: DELETE tombstones, a plain
+// re-put is refused with 410 Gone, GET/HEAD answer 410 (not 404, which
+// would invite read-repair), force lifts the tombstone, and ?trim=1
+// deletes without leaving one.
+func TestTombstoneHTTPSemantics(t *testing.T) {
+	c, _ := newTestDaemon(t, 1, 16, server.Options{DataDir: t.TempDir()})
+	ctx := t.Context()
+	data, err := makeVBS(1, 6, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put, err := c.PutVBS(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteVBSCtx(ctx, put.Digest); err != nil {
+		t.Fatalf("DeleteVBS: %v", err)
+	}
+
+	// Automated re-replication must be refused while the tombstone
+	// lives.
+	if _, err := c.PutVBS(ctx, data); server.StatusCode(err) != http.StatusGone {
+		t.Fatalf("re-put of deleted digest: err = %v, want 410", err)
+	}
+	if _, err := c.GetVBSCtx(ctx, put.Digest); server.StatusCode(err) != http.StatusGone {
+		t.Fatalf("GET of deleted digest: err = %v, want 410", err)
+	}
+	if _, err := c.HasVBS(ctx, put.Digest); server.StatusCode(err) != http.StatusGone {
+		t.Fatalf("HEAD of deleted digest: err = %v, want 410", err)
+	}
+	ts, err := c.Tombstones(ctx)
+	if err != nil || len(ts) != 1 || ts[0].Digest != put.Digest {
+		t.Fatalf("Tombstones = %+v, %v; want one entry for %s", ts, err, put.Digest[:12])
+	}
+	st, err := c.StatsCtx(ctx)
+	if err != nil || st.Repo.Tombstones != 1 {
+		t.Fatalf("stats repo.tombstones = %d, %v; want 1", st.Repo.Tombstones, err)
+	}
+
+	// Deleting an absent digest still records a tombstone: a gateway
+	// fans deletes out to non-holders so in-flight rebalance copies
+	// land refused.
+	other, err := makeVBS(2, 6, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteVBSCtx(ctx, repo.DigestOf(other).String()); server.StatusCode(err) != http.StatusNotFound {
+		t.Fatalf("DELETE of absent digest: err = %v, want 404", err)
+	}
+	if _, err := c.PutVBS(ctx, other); server.StatusCode(err) != http.StatusGone {
+		t.Fatalf("put after absent-delete: err = %v, want 410", err)
+	}
+
+	// An explicit user write lifts the tombstone.
+	if _, err := c.PutVBSForce(ctx, data); err != nil {
+		t.Fatalf("forced re-put: %v", err)
+	}
+	if got, err := c.GetVBSCtx(ctx, put.Digest); err != nil || len(got) != len(data) {
+		t.Fatalf("GET after forced re-put: %d bytes, %v", len(got), err)
+	}
+
+	// ?trim=1 is a physical trim: the digest stays storable.
+	if err := c.TrimVBS(ctx, put.Digest); err != nil {
+		t.Fatalf("TrimVBS: %v", err)
+	}
+	if _, err := c.GetVBSCtx(ctx, put.Digest); server.StatusCode(err) != http.StatusNotFound {
+		t.Fatalf("GET after trim: err = %v, want 404", err)
+	}
+	if _, err := c.PutVBS(ctx, data); err != nil {
+		t.Fatalf("re-put after trim: %v", err)
+	}
+}
+
+// TestLoadClearsTombstone pins that POST /tasks — explicit user
+// intent to run these bytes — overrides an earlier delete.
+func TestLoadClearsTombstone(t *testing.T) {
+	c, _ := newTestDaemon(t, 1, 16, server.Options{DataDir: t.TempDir()})
+	ctx := t.Context()
+	data, err := makeVBS(3, 6, 4, 8, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, err := c.PutVBS(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteVBSCtx(ctx, put.Digest); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.LoadCtx(ctx, data, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("load of tombstoned digest: %v", err)
+	}
+	if res.Digest != put.Digest {
+		t.Fatalf("load digest %s, want %s", res.Digest, put.Digest)
+	}
+	if ts, _ := c.Tombstones(ctx); len(ts) != 0 {
+		t.Fatalf("tombstone survived a load: %+v", ts)
+	}
+}

@@ -61,6 +61,10 @@ type CompactResponse struct {
 type PutVBSRequest struct {
 	// VBS is the base64 (standard encoding) VBS container.
 	VBS string `json:"vbs"`
+	// Force lifts a delete tombstone before admitting: set on explicit
+	// user writes. Automated copies (read-repair, rebalance) leave it
+	// false and are refused with 410 Gone while the tombstone lives.
+	Force bool `json:"force,omitempty"`
 }
 
 // PutVBSResponse describes an admitted blob.
@@ -149,6 +153,16 @@ type RepoInfo struct {
 	// non-corrupt disk gets (corrupt reads count under Quarantined).
 	WriteErrors uint64 `json:"write_errors"`
 	ReadErrors  uint64 `json:"read_errors"`
+	// Tombstones counts live delete tombstones blocking re-admission.
+	Tombstones int `json:"tombstones"`
+}
+
+// TombstoneInfo describes one live delete tombstone in
+// GET /tombstones.
+type TombstoneInfo struct {
+	Digest string `json:"digest"`
+	// Expires is the unix time (seconds) the tombstone stops blocking.
+	Expires int64 `json:"expires"`
 }
 
 // ChaosFaults mirrors repo.Faults on the wire for the /chaos/faults

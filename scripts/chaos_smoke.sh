@@ -9,6 +9,10 @@
 #   3. vbschaos -recipe corruptblob -short -vbsd: flip bytes in an
 #      on-disk blob, kill -9, restart; the boot recovery scan must
 #      quarantine the rot and no read may ever serve corrupt bytes
+#   4. vbschaos -recipe nodeadd -short -vbsd: SIGKILL + forget one
+#      node, join a fresh empty subprocess under traffic; replicas
+#      must rebalance back to R and a blob deleted mid-rebalance must
+#      stay dead (tombstones honored)
 #
 # Each run emits a JSON report and exits non-zero on any invariant
 # violation. Full-length soaks: drop -short, or -recipe all.
@@ -22,7 +26,7 @@ trap 'rm -rf "$work"' EXIT
 echo "== build"
 go build -o "$work/bin/" ./cmd/vbsd ./cmd/vbschaos
 
-for recipe in nodekill corruptblob; do
+for recipe in nodekill corruptblob nodeadd; do
   echo "== recipe $recipe (3 vbsd subprocesses, replicas=2, short)"
   "$work/bin/vbschaos" -recipe "$recipe" -short \
     -vbsd "$work/bin/vbsd" -work-dir "$work/$recipe" \

@@ -12,9 +12,12 @@
 #      (this read-repairs the imported blob onto its ring owners)
 #   6. drive a concurrent load/get/unload mix at the gateway with
 #      vbsload under a strict error budget
+#   7. join a fresh fourth node via `vbsgw node add` while a second
+#      vbsload mix runs with -max-error-rate 0: elastic membership
+#      must be invisible to clients
 #
 # Kill/failover coverage lives in scripts/chaos_smoke.sh (the chaos
-# harness nodekill and corruptblob recipes), not here.
+# harness nodekill, corruptblob, and nodeadd recipes), not here.
 #
 # Run from the repository root: ./scripts/cluster_smoke.sh
 set -euo pipefail
@@ -61,7 +64,7 @@ done
 for addr in "${node_addrs[@]}"; do wait_healthy "$addr"; done
 nodes_flag=$(printf 'http://%s,' "${node_addrs[@]}")
 "$work/bin/vbsgw" -addr "$gwaddr" -nodes "${nodes_flag%,}" -replicas 2 \
-  -probe-interval 500ms >"$work/gw.log" 2>&1 &
+  -probe-interval 500ms -rebalance-interval 1s >"$work/gw.log" 2>&1 &
 pids+=($!)
 gwpid=$!
 wait_healthy "$gwaddr"
@@ -121,6 +124,40 @@ esac
 echo "== vbsload mix against the cluster, strict error budget"
 "$work/bin/vbsload" -url "http://$gwaddr" -ops 60 -workers 4 -tasks 2 \
   -mix 30:50:20 -max-error-rate 0.05
+
+echo "== join a fresh node under live vbsload (zero error budget)"
+join_addr=127.0.0.1:8964
+"$work/bin/vbsd" -addr "$join_addr" -fabrics 1 -size 32x32 -w 12 \
+  -data-dir "$work/data4" >"$work/node4.log" 2>&1 &
+pids+=($!)
+wait_healthy "$join_addr"
+"$work/bin/vbsload" -url "http://$gwaddr" -ops 600 -workers 4 -tasks 2 \
+  -mix 30:50:20 -max-error-rate 0 &
+loadpid=$!
+sleep 0.1
+"$work/bin/vbsgw" node add -gw "http://$gwaddr" "http://$join_addr"
+if ! wait "$loadpid"; then
+  echo "FAIL: vbsload saw client errors while the node joined" >&2
+  exit 1
+fi
+
+echo "== membership lists the joined node, rebalance is running"
+members=$("$work/bin/vbsgw" node ls -gw "http://$gwaddr")
+echo "$members"
+case "$members" in
+  *"http://$join_addr"*) ;;
+  *) echo "FAIL: membership does not list http://$join_addr" >&2; exit 1 ;;
+esac
+"$work/bin/vbsgw" rebalance -gw "http://$gwaddr"
+stats=$(curl -fsS "http://$gwaddr/stats")
+case "$stats" in
+  *'"membership_version":1'*) ;;
+  *) echo "FAIL: /stats cluster block missing membership_version 1: $stats" >&2; exit 1 ;;
+esac
+case "$stats" in
+  *'"rebalance":{'*) ;;
+  *) echo "FAIL: /stats cluster block missing rebalance progress" >&2; exit 1 ;;
+esac
 
 echo "== graceful gateway shutdown"
 kill "$gwpid"
