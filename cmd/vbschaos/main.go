@@ -2,7 +2,8 @@
 // while a continuous mixed workload drives traffic, then checks
 // fleet-wide invariants: every acked blob retrievable byte-identical,
 // replica counts back at R, no orphaned fabric occupancy, no task
-// resurrection, client error budget held.
+// resurrection, /metrics still scrapeable on the gateway and a node
+// with the required families present, client error budget held.
 //
 //	vbschaos -recipe nodekill -short          # in-process fleet, CI-sized
 //	vbschaos -recipe all -vbsd ./bin/vbsd     # real vbsd subprocesses, full soak

@@ -17,10 +17,17 @@
 // scan re-indexes surviving blobs (quarantining corrupt ones), and
 // -warm N pre-decodes stored blobs into the cache at startup.
 //
+// Background maintenance (tombstone sweeps, repository scrubs, cache
+// warming) runs through the jobs engine: POST /jobs starts one,
+// GET /jobs lists them, DELETE /jobs/{id} aborts; GET /metrics
+// exposes Prometheus text-format counters, gauges and latency
+// histograms, job progress included.
+//
 // Endpoints: POST /tasks, GET /tasks, DELETE /tasks/{id},
 // POST /tasks/{id}/relocate, POST /fabrics/{i}/compact, GET /fabrics,
 // GET /vbs, GET /vbs/{digest}, DELETE /vbs/{digest}, GET /stats,
-// GET /healthz.
+// GET /healthz, POST /jobs, GET /jobs, GET /jobs/{id},
+// DELETE /jobs/{id}, GET /metrics.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +46,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/controller"
 	"repro/internal/fabric"
+	"repro/internal/jobs"
 	"repro/internal/sched"
 	"repro/internal/server"
 )
@@ -97,15 +106,25 @@ func main() {
 		log.Printf("vbsd: repo %s: recovered %d blob(s) (%d bytes), quarantined %d, removed %d temp file(s)",
 			*dataDir, rep.Recovered, rep.Bytes, rep.Quarantined, rep.TempRemoved)
 		if *warm != 0 {
-			max := *warm
-			if max < 0 {
-				max = 0 // WarmDecoded treats 0 as "all"
+			// Warm-up runs as a background job: the daemon serves its
+			// first requests immediately, the job is visible in GET /jobs
+			// and abortable with DELETE /jobs/{id}.
+			args := map[string]string{}
+			if *warm > 0 {
+				args["max"] = strconv.Itoa(*warm)
 			}
-			n, err := srv.WarmDecoded(max)
-			if err != nil {
-				log.Printf("vbsd: decoded-cache warm-up stopped after %d blob(s): %v", n, err)
+			if j, err := srv.Jobs().Start("warm", args); err != nil {
+				log.Printf("vbsd: cache warm-up: %v", err)
 			} else {
-				log.Printf("vbsd: pre-decoded %d blob(s) into the cache", n)
+				go func() {
+					s, _ := j.Wait(context.Background())
+					if s.Status == jobs.StatusDone {
+						log.Printf("vbsd: pre-decoded %d blob(s) into the cache", s.Progress["warmed"])
+					} else {
+						log.Printf("vbsd: cache warm-up %s after %d blob(s): %s",
+							s.Status, s.Progress["warmed"], s.Error)
+					}
+				}()
 			}
 		}
 	}
@@ -124,32 +143,40 @@ func main() {
 		defer cancel()
 		_ = hs.Shutdown(shutdownCtx)
 	}()
-	if *dataDir != "" {
-		// Housekeeping: reclaim expired delete tombstones. Hourly is
-		// plenty — expiry is enforced at read time either way; the sweep
-		// only keeps the tombstone directory from accumulating debris.
-		go func() {
-			tick := time.NewTicker(time.Hour)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					if n, err := srv.SweepTombstones(); err == nil && n > 0 {
-						log.Printf("vbsd: swept %d expired tombstone(s)", n)
+	// Housekeeping: hourly, reclaim expired delete tombstones (as an
+	// observable job — expiry is enforced at read time either way; the
+	// sweep only keeps the tombstone directory from accumulating
+	// debris) and drop day-old terminal job records from the table.
+	go func() {
+		tick := time.NewTicker(time.Hour)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if j, err := srv.Jobs().Start("tombstone-sweep", nil); err == nil {
+					if s, werr := j.Wait(ctx); werr == nil && s.Progress["swept"] > 0 {
+						log.Printf("vbsd: swept %d expired tombstone(s)", s.Progress["swept"])
 					}
 				}
+				srv.Jobs().Sweep(24 * time.Hour)
 			}
-		}()
-	}
+		}
+	}()
 
 	log.Printf("vbsd: serving %d %dx%d fabric(s) (W=%d, K=%d) on %s", *nFabrics, gw, gh, *w, *k, *addr)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("vbsd: %v", err)
 	}
-	// Graceful shutdown: make sure every RAM-resident blob reached the
-	// disk tier (normally a no-op — admissions write through).
+	// Graceful shutdown: abort running jobs (bounded wait), then make
+	// sure every RAM-resident blob reached the disk tier (normally a
+	// no-op — admissions write through).
+	jctx, jcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv.Jobs().Shutdown(jctx); err != nil {
+		log.Printf("vbsd: job shutdown: %v", err)
+	}
+	jcancel()
 	if err := srv.Flush(); err != nil {
 		log.Printf("vbsd: shutdown flush: %v", err)
 	}

@@ -17,9 +17,16 @@
 // rebalance progress).
 //
 // Membership is elastic at runtime; a background rebalancer converges
-// blob placement after every change, and idempotent hops retry
-// transport failures with capped backoff (-retry-attempts /
-// -retry-backoff). Admin verbs drive a running gateway:
+// blob placement after every change — every pass is a Job (POST /jobs
+// {"kind":"rebalance"} starts one by hand, DELETE /jobs/{id} aborts a
+// pass mid-flight). Fleet-wide maintenance kinds (scrub,
+// tombstone-sweep, warm) fan out to every node and scatter-gather
+// their progress; "reconcile" re-syncs the gateway task table against
+// the nodes' own listings. GET /metrics exposes Prometheus text —
+// gateway op latency histograms, cluster gauges, rebalance counters,
+// job progress. Idempotent hops retry transport failures with capped
+// backoff (-retry-attempts / -retry-backoff). Admin verbs drive a
+// running gateway:
 //
 //	vbsgw node ls      -gw http://localhost:8930
 //	vbsgw node add     -gw http://localhost:8930 http://n4:8931

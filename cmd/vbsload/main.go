@@ -13,9 +13,16 @@
 // fetches a previously loaded blob; an unload removes a previously
 // loaded task; both degrade to a load while nothing is loaded yet.
 // Remaining tasks are unloaded at the end unless -cleanup=false.
+//
+// With -scrape, vbsload snapshots the target's GET /metrics before
+// and after the run and folds the *server-side* latency percentiles
+// of the window (p50/p90/p99 per op, estimated from the histogram
+// bucket deltas) into the report — client-observed and server-
+// observed latency side by side from one tool.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -56,6 +64,15 @@ type opStats struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
+// serverOpStats is one op's server-side latency summary, estimated
+// from the /metrics histogram bucket deltas of the run window.
+type serverOpStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
 // summary is the -json document.
 type summary struct {
 	URL        string             `json:"url"`
@@ -68,6 +85,10 @@ type summary struct {
 	ReqPerSec  float64            `json:"req_per_sec"`
 	PerOp      map[string]opStats `json:"per_op"`
 	LastErrors map[string]string  `json:"last_errors,omitempty"`
+	// ScrapeURL / ServerSide are filled by -scrape: the target's own
+	// op-latency histograms diffed across the run.
+	ScrapeURL  string                   `json:"scrape_url,omitempty"`
+	ServerSide map[string]serverOpStats `json:"server_side,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -84,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit a JSON summary on stdout")
 		cleanup  = fs.Bool("cleanup", true, "unload remaining tasks at the end")
 		maxErr   = fs.Float64("max-error-rate", 1.0, "fail (exit 1) when errors/ops exceeds this fraction")
+		scrape   = fs.String("scrape", "", "scrape this base URL's /metrics before and after the run and report server-side percentile deltas (usually the -url target)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -115,13 +137,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var before []metrics.Sample
+	if *scrape != "" {
+		if before, err = server.NewClient(*scrape, nil).MetricsCtx(context.Background()); err != nil {
+			fmt.Fprintf(stderr, "vbsload: cannot scrape %s/metrics: %v\n", *scrape, err)
+			return 1
+		}
+	}
+
 	bench := newBench(cl, containers, weights, *seed)
 	wall := bench.run(*workers, *ops, *duration)
+
+	var after []metrics.Sample
+	if *scrape != "" {
+		// Scrape before the cleanup drain so the window covers exactly
+		// the measured ops.
+		if after, err = server.NewClient(*scrape, nil).MetricsCtx(context.Background()); err != nil {
+			fmt.Fprintf(stderr, "vbsload: cannot scrape %s/metrics: %v\n", *scrape, err)
+			return 1
+		}
+	}
 	if *cleanup {
 		bench.drain()
 	}
 
 	s := bench.summarize(*url, *workers, *mix, wall)
+	if *scrape != "" {
+		s.ScrapeURL = *scrape
+		s.ServerSide = scrapeDeltas(before, after)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -145,6 +189,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// scrapeDeltas diffs two /metrics snapshots and summarizes the
+// server-side latency distribution of every *_op_duration_seconds
+// histogram series that saw observations inside the window (vbsd
+// exports vbs_server_op_duration_seconds, vbsgw
+// vbs_gateway_op_duration_seconds — both match).
+func scrapeDeltas(before, after []metrics.Sample) map[string]serverOpStats {
+	out := map[string]serverOpStats{}
+	seen := map[string]bool{}
+	for _, smp := range after {
+		name, isBucket := strings.CutSuffix(smp.Name, "_bucket")
+		if !isBucket || !strings.HasSuffix(name, "_op_duration_seconds") {
+			continue
+		}
+		op := smp.Label("op")
+		if op == "" || seen[op] {
+			continue
+		}
+		seen[op] = true
+		labels := map[string]string{"op": op}
+		delta := metrics.Buckets(after, name, labels)
+		// A series born mid-run is absent from the before snapshot; its
+		// delta is then the after snapshot itself.
+		if bb := metrics.Buckets(before, name, labels); len(bb) > 0 {
+			delta = metrics.SubtractBuckets(bb, delta)
+		}
+		if len(delta) == 0 || delta[len(delta)-1].Count == 0 {
+			continue
+		}
+		out[op] = serverOpStats{
+			Count: int(delta[len(delta)-1].Count),
+			P50MS: metrics.Quantile(0.50, delta) * 1000,
+			P90MS: metrics.Quantile(0.90, delta) * 1000,
+			P99MS: metrics.Quantile(0.99, delta) * 1000,
+		}
+	}
+	return out
 }
 
 // parseMix reads "load:get:unload" percentages.
@@ -373,5 +455,18 @@ func printSummary(w io.Writer, s summary) {
 	}
 	for name, msg := range s.LastErrors {
 		fmt.Fprintf(w, "last %s error: %s\n", name, msg)
+	}
+	if len(s.ServerSide) > 0 {
+		names := make([]string, 0, len(s.ServerSide))
+		for name := range s.ServerSide {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "server-side (%s/metrics):\n", s.ScrapeURL)
+		for _, name := range names {
+			st := s.ServerSide[name]
+			fmt.Fprintf(w, "%-9s: %6d ops  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  (histogram estimate)\n",
+				name, st.Count, st.P50MS, st.P90MS, st.P99MS)
+		}
 	}
 }

@@ -73,6 +73,48 @@ func TestRunJSONSummary(t *testing.T) {
 	}
 }
 
+// TestRunScrape: -scrape folds the daemon's own histogram percentiles
+// into the report, with counts matching the successful server-side ops.
+func TestRunScrape(t *testing.T) {
+	url := startDaemon(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", url, "-scrape", url, "-ops", "30", "-workers", "4",
+		"-tasks", "2", "-mix", "40:40:20", "-json", "-cleanup=false",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var s summary
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, stdout.String())
+	}
+	if s.ScrapeURL != url {
+		t.Errorf("scrape_url = %q, want %q", s.ScrapeURL, url)
+	}
+	if len(s.ServerSide) == 0 {
+		t.Fatalf("no server_side block in %s", stdout.String())
+	}
+	// Every op the client ran successfully must show up server-side
+	// with the same count (the daemon observes each handler once).
+	for _, op := range []string{"load", "vbs_get", "unload"} {
+		st, ok := s.ServerSide[op]
+		if !ok {
+			t.Errorf("server_side missing op %q (have %v)", op, s.ServerSide)
+			continue
+		}
+		if st.Count <= 0 || st.P50MS < 0 || st.P99MS < st.P50MS {
+			t.Errorf("server_side[%s] = %+v inconsistent", op, st)
+		}
+	}
+	if s.Errors != 0 {
+		t.Fatalf("errors = %d (%v)", s.Errors, s.LastErrors)
+	}
+	if got, want := s.ServerSide["load"].Count, s.PerOp["load"].Count; got != want {
+		t.Errorf("server-side load count = %d, client-side = %d", got, want)
+	}
+}
+
 func TestRunHumanSummary(t *testing.T) {
 	url := startDaemon(t)
 	var stdout, stderr bytes.Buffer

@@ -21,6 +21,9 @@
 //     fleet behind one slow peer.
 //   - atomicfaults: a sync/atomic-typed field read or written without
 //     its atomic methods (e.g. the repo.Faults arming pointer) races.
+//   - metricreg: metrics.Registry registration panics on duplicate
+//     names by design, so it must run from init or a New*/Register*
+//     constructor — never on a request or job path.
 //
 // See cmd/vbslint for the multichecker that runs the suite, and
 // docs/ARCHITECTURE.md ("Static analysis") for the invariant table

@@ -1,0 +1,12 @@
+package metricreg_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricreg"
+)
+
+func TestMetricreg(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metricreg.Analyzer, "metricreg")
+}

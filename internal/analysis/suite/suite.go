@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis/ctxclient"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/lockio"
+	"repro/internal/analysis/metricreg"
 	"repro/internal/analysis/poolescape"
 )
 
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		ctxclient.Analyzer,
 		errwrap.Analyzer,
 		lockio.Analyzer,
+		metricreg.Analyzer,
 		poolescape.Analyzer,
 	}
 }

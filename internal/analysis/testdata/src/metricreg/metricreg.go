@@ -1,0 +1,50 @@
+// Fixture for the metricreg analyzer: metric registration is legal in
+// init and New*/new*/Register*/register* functions (where it runs once
+// per registry) and flagged everywhere else (where a second execution
+// panics on the duplicate name).
+package metricreg
+
+import "repro/internal/metrics"
+
+type subsystem struct {
+	reg  *metrics.Registry
+	hits *metrics.Counter
+}
+
+var pkgReg = metrics.NewRegistry()
+
+// Package-level var initializers run at init time and stay legal.
+var bootCounter = pkgReg.Counter("vbs_fixture_boot_total", "init-time")
+
+func init() {
+	pkgReg.Gauge("vbs_fixture_up", "init-time")
+}
+
+func New() *subsystem {
+	s := &subsystem{reg: metrics.NewRegistry()}
+	s.hits = s.reg.Counter("vbs_fixture_hits_total", "constructor-time")
+	s.reg.OnCollect(func() {})
+	return s
+}
+
+func newQuiet(reg *metrics.Registry) {
+	reg.CounterVec("vbs_fixture_ops_total", "constructor-time", "op")
+}
+
+func RegisterExtra(reg *metrics.Registry) {
+	reg.HistogramVec("vbs_fixture_lat_seconds", "constructor-time", nil, "op")
+}
+
+func (s *subsystem) handleRequest() {
+	s.hits.Inc()                                                    // observing is fine anywhere
+	s.reg.Counter("vbs_fixture_lazy_total", "per-request")          // want `metrics\.Registry\.Counter called in handleRequest`
+	s.reg.GaugeFunc("vbs_fixture_lazy", "per-request", nil)         // want `metrics\.Registry\.GaugeFunc called in handleRequest`
+	s.reg.Histogram("vbs_fixture_lazy_seconds", "per-request", nil) // want `metrics\.Registry\.Histogram called in handleRequest`
+	s.reg.OnCollect(func() {})                                      // want `metrics\.Registry\.OnCollect called in handleRequest`
+}
+
+func sweep(reg *metrics.Registry) {
+	func() {
+		reg.Gauge("vbs_fixture_closure", "closures inherit the enclosing decl") // want `metrics\.Registry\.Gauge called in sweep`
+	}()
+}

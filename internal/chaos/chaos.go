@@ -9,8 +9,8 @@
 //     (nodekill, diskfull, corruptblob, churn);
 //   - conditions (conditions.go) judge the aftermath — every acked
 //     blob retrievable byte-identical, replica counts back at R, no
-//     orphaned fabric occupancy, no task resurrection, error budget
-//     held.
+//     orphaned fabric occupancy, no task resurrection, /metrics
+//     scrapeable with the required families, error budget held.
 //
 // The workload (workload.go) tracks what the cluster acknowledged,
 // which is the ground truth conditions check against. cmd/vbschaos is

@@ -9,8 +9,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/repo"
 	"repro/internal/server"
 )
@@ -39,6 +41,7 @@ func StandardConditions() []Condition {
 		{"replicas-converge", checkReplicasConverge},
 		{"no-orphaned-occupancy", checkNoOrphanedOccupancy},
 		{"no-task-resurrection", checkNoTaskResurrection},
+		{"metrics-scrapeable", checkMetricsScrapeable},
 		{"error-budget", checkErrorBudget},
 	}
 }
@@ -136,6 +139,71 @@ func checkNoTaskResurrection(ctx context.Context, e *Env) error {
 		}
 	}
 	return nil
+}
+
+// checkMetricsScrapeable: the gateway and at least one alive node
+// serve a parseable Prometheus exposition carrying the metric
+// families operators alert on. A daemon that survived the fault but
+// dropped its scrape endpoint (or a registration bug that emptied a
+// family) is an observability outage even when the data plane heals.
+func checkMetricsScrapeable(ctx context.Context, e *Env) error {
+	gw, err := e.Fleet.Client.MetricsCtx(ctx)
+	if err != nil {
+		return fmt.Errorf("gateway /metrics: %w", err)
+	}
+	for _, fam := range []string{
+		"vbs_gateway_op_duration_seconds",
+		"vbs_cluster_nodes",
+		"vbs_cluster_alive_nodes",
+		"vbs_rebalance_passes_total",
+		"vbs_jobs_running",
+	} {
+		if !hasFamily(gw, fam) {
+			return fmt.Errorf("gateway /metrics missing family %s", fam)
+		}
+	}
+	scraped := false
+	for _, n := range e.Fleet.Nodes {
+		if !n.Alive() {
+			continue
+		}
+		node, err := n.Client().MetricsCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("%s /metrics: %w", n.Name(), err)
+		}
+		for _, fam := range []string{
+			"vbs_server_op_duration_seconds",
+			"vbs_cache_hits_total",
+			"vbs_jobs_running",
+		} {
+			if !hasFamily(node, fam) {
+				return fmt.Errorf("%s /metrics missing family %s", n.Name(), fam)
+			}
+		}
+		scraped = true
+		break
+	}
+	if !scraped {
+		return fmt.Errorf("no alive node to scrape")
+	}
+	return nil
+}
+
+// hasFamily reports whether any sample belongs to the named family,
+// counting a histogram's expanded _bucket/_sum/_count series.
+func hasFamily(samples []metrics.Sample, name string) bool {
+	for _, s := range samples {
+		if s.Name == name {
+			return true
+		}
+		if strings.HasPrefix(s.Name, name) {
+			switch strings.TrimPrefix(s.Name, name) {
+			case "_bucket", "_sum", "_count":
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // deletedBlobStaysDead builds the recipe condition for a blob deleted

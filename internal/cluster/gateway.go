@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/repo"
 	"repro/internal/server"
 )
@@ -74,6 +76,9 @@ type Gateway struct {
 	ring     atomic.Pointer[Ring]
 	reg      *Registry
 	reb      *Rebalancer
+	jobs     *jobs.Table
+	metrics  *metrics.Registry
+	opLat    *metrics.HistogramVec
 	replicas int
 	hop      time.Duration
 	maxBody  int64
@@ -160,6 +165,9 @@ func New(nodes []string, opts Options) (*Gateway, error) {
 	g.ring.Store(NewRing(nodes, opts.VNodes))
 	g.reg.SetRetry(opts.RetryAttempts, opts.RetryBackoff)
 	g.reb = newRebalancer(g, opts.RebalanceInterval)
+	g.jobs = jobs.NewTable()
+	g.defineJobs()
+	g.metrics = newGatewayMetrics(g)
 	return g, nil
 }
 
@@ -176,6 +184,9 @@ func (g *Gateway) Registry() *Registry { return g.reg }
 // Rebalancer exposes the background rebalancer.
 func (g *Gateway) Rebalancer() *Rebalancer { return g.reb }
 
+// Jobs exposes the gateway's background job table.
+func (g *Gateway) Jobs() *jobs.Table { return g.jobs }
+
 // Start probes every node once (so the first request sees real
 // states) and launches the background probe and rebalance loops.
 func (g *Gateway) Start(ctx context.Context) {
@@ -184,10 +195,13 @@ func (g *Gateway) Start(ctx context.Context) {
 	g.reb.Start()
 }
 
-// Stop terminates the rebalance and probe loops and drains in-flight
-// read-repairs (each bounded by the hop timeout).
+// Stop terminates the rebalance and probe loops, aborts running jobs,
+// and drains in-flight read-repairs (each bounded by the hop timeout).
 func (g *Gateway) Stop() {
 	g.reb.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = g.jobs.Shutdown(ctx)
+	cancel()
 	g.reg.Stop()
 	g.repairs.Wait()
 }
@@ -208,6 +222,11 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("DELETE /vbs/{digest}", g.handleDeleteVBS)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("POST /jobs", g.handleStartJob)
+	mux.HandleFunc("GET /jobs", g.handleListJobs)
+	mux.HandleFunc("GET /jobs/{id}", g.handleGetJob)
+	mux.HandleFunc("DELETE /jobs/{id}", g.handleAbortJob)
+	mux.Handle("GET /metrics", g.metrics)
 	// Cluster admin: runtime membership and rebalance control. {name}
 	// is a path-escaped node base URL (Go's ServeMux matches wildcards
 	// against the escaped path, so the embedded "//" survives).
@@ -320,6 +339,12 @@ func scatter[T any](ctx context.Context, g *Gateway, nodes []string,
 	}
 	wg.Wait()
 	return out
+}
+
+// observeOp records one gateway operation's end-to-end latency into
+// the op histogram.
+func (g *Gateway) observeOp(op string, begin time.Time) {
+	g.opLat.With(op).Observe(time.Since(begin).Seconds())
 }
 
 // observe feeds a node-call outcome into the registry: any HTTP reply
@@ -449,6 +474,7 @@ func (g *Gateway) replicate(ctx context.Context, data []byte, owners []string, h
 }
 
 func (g *Gateway) handleLoad(w http.ResponseWriter, r *http.Request) {
+	defer g.observeOp("load", time.Now())
 	var req server.LoadRequest
 	if !g.decodeBody(w, r, &req) {
 		return
@@ -860,6 +886,7 @@ func (g *Gateway) fetchVerified(ctx context.Context, node string, d repo.Digest)
 }
 
 func (g *Gateway) handleGetVBS(w http.ResponseWriter, r *http.Request) {
+	defer g.observeOp("vbs_get", time.Now())
 	d, err := repo.ParseDigest(r.PathValue("digest"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/repo"
 	"repro/internal/server"
 )
@@ -123,6 +124,11 @@ func (rb *Rebalancer) Stop() {
 	}
 }
 
+// loop turns ticks and kicks into "rebalance" jobs on the gateway's
+// job table — every pass is a first-class Job: visible in GET /jobs,
+// abortable with DELETE /jobs/{id}, its progress counters scraped as
+// metrics. An exclusive collision (a pass already running, however it
+// was started) just coalesces with it.
 func (rb *Rebalancer) loop(ctx context.Context) {
 	defer close(rb.done)
 	t := time.NewTicker(rb.interval)
@@ -134,23 +140,45 @@ func (rb *Rebalancer) loop(ctx context.Context) {
 		case <-rb.kick:
 		case <-t.C:
 		}
-		for {
-			err := rb.pass(ctx)
-			if err == errPassStale {
-				// The ring moved under the pass: what it computed is
-				// history. Rerun immediately against the new ring.
-				rb.aborted.Add(1)
-				continue
-			}
-			rb.mu.Lock()
-			if err != nil && ctx.Err() == nil {
-				rb.lastErr = err.Error()
-			} else if err == nil {
-				rb.lastErr = ""
-			}
-			rb.mu.Unlock()
-			break
+		j, err := rb.g.jobs.Start("rebalance", map[string]string{"trigger": "auto"})
+		if err != nil {
+			continue
 		}
+		select {
+		case <-j.Done():
+			// One terminal snapshot lands per tick; keep an hour of
+			// history so GET /jobs stays bounded on a long-lived gateway.
+			rb.g.jobs.Sweep(time.Hour)
+		case <-ctx.Done():
+			rb.g.jobs.Abort(j.ID())
+			<-j.Done()
+			return
+		}
+	}
+}
+
+// runRebalance is the "rebalance" job runner: one full pass, rerun
+// immediately while membership changes keep outdating the ring it
+// works against. The Rebalancer's counters are process-lifetime
+// cumulative — a restarted job never resets them, so scraped rates
+// stay meaningful — while the job's own progress counters cover just
+// this run.
+func (rb *Rebalancer) runRebalance(ctx context.Context, j *jobs.Job) error {
+	for {
+		err := rb.pass(ctx, j)
+		if err == errPassStale {
+			rb.aborted.Add(1)
+			j.Add("stale_reruns", 1)
+			continue
+		}
+		rb.mu.Lock()
+		if err != nil && ctx.Err() == nil {
+			rb.lastErr = err.Error()
+		} else if err == nil {
+			rb.lastErr = ""
+		}
+		rb.mu.Unlock()
+		return err
 	}
 }
 
@@ -190,7 +218,8 @@ type nodeInventory struct {
 
 // pass runs one full rebalance sweep against the current ring,
 // returning errPassStale when a membership change outdates it mid-way.
-func (rb *Rebalancer) pass(ctx context.Context) error {
+// Work is mirrored into j's progress counters as it happens.
+func (rb *Rebalancer) pass(ctx context.Context, j *jobs.Job) error {
 	g := rb.g
 	startVer := g.MembershipVersion()
 	ring := g.curRing()
@@ -239,6 +268,7 @@ func (rb *Rebalancer) pass(ctx context.Context) error {
 			// An unreachable member does not block rebalancing the
 			// rest; its blobs are handled once it answers again.
 			rb.errs.Add(1)
+			j.Add("errors", 1)
 			continue
 		}
 		for _, b := range nr.val.blobs {
@@ -265,14 +295,16 @@ func (rb *Rebalancer) pass(ctx context.Context) error {
 		d, err := repo.ParseDigest(hex)
 		if err != nil {
 			rb.errs.Add(1)
+			j.Add("errors", 1)
 			continue
 		}
 		rb.examined.Add(1)
+		j.Add("examined", 1)
 
 		if tombed[hex] {
 			// Deleted somewhere: spread the tombstone to every holder
 			// instead of re-balancing a dead blob.
-			rb.propagate(ctx, d, holders[hex])
+			rb.propagate(ctx, d, holders[hex], j)
 			continue
 		}
 
@@ -296,7 +328,7 @@ func (rb *Rebalancer) pass(ctx context.Context) error {
 			if holding[o] {
 				continue
 			}
-			if rb.copyTo(ctx, d, o, holders[hex], &goneMid) {
+			if rb.copyTo(ctx, d, o, holders[hex], &goneMid, j) {
 				holding[o] = true
 			} else {
 				complete = false
@@ -306,7 +338,7 @@ func (rb *Rebalancer) pass(ctx context.Context) error {
 			}
 		}
 		if goneMid {
-			rb.propagate(ctx, d, holders[hex])
+			rb.propagate(ctx, d, holders[hex], j)
 			continue
 		}
 
@@ -329,12 +361,15 @@ func (rb *Rebalancer) pass(ctx context.Context) error {
 			switch {
 			case err == nil || server.StatusCode(err) == http.StatusNotFound:
 				rb.trims.Add(1)
+				j.Add("trims", 1)
 			case server.StatusCode(err) == http.StatusConflict:
 				// A live task still references the copy: it stays until
 				// the task unloads.
 				rb.skipped.Add(1)
+				j.Add("skipped", 1)
 			default:
 				rb.errs.Add(1)
+				j.Add("errors", 1)
 			}
 		}
 	}
@@ -345,7 +380,7 @@ func (rb *Rebalancer) pass(ctx context.Context) error {
 // preferring holders that are themselves owners (their copy is the
 // authoritative one). Reports success; sets *gone when a tombstone
 // surfaced (410) — the caller then propagates the delete instead.
-func (rb *Rebalancer) copyTo(ctx context.Context, d repo.Digest, to string, holders []string, gone *bool) bool {
+func (rb *Rebalancer) copyTo(ctx context.Context, d repo.Digest, to string, holders []string, gone *bool, j *jobs.Job) bool {
 	g := rb.g
 	ring := g.curRing()
 	srcs := make([]string, 0, len(holders))
@@ -389,22 +424,27 @@ func (rb *Rebalancer) copyTo(ctx context.Context, d repo.Digest, to string, hold
 			return false
 		case err != nil:
 			rb.errs.Add(1)
+			j.Add("errors", 1)
 			return false
 		case resp.Digest != d.String():
 			rb.errs.Add(1)
+			j.Add("errors", 1)
 			return false
 		}
 		rb.copies.Add(1)
+		j.Add("copies", 1)
 		return true
 	}
 	rb.skipped.Add(1) // no alive source: handled when one returns
+	j.Add("skipped", 1)
 	return false
 }
 
 // propagate spreads a delete tombstone to every holder of d.
-func (rb *Rebalancer) propagate(ctx context.Context, d repo.Digest, holders []string) {
+func (rb *Rebalancer) propagate(ctx context.Context, d repo.Digest, holders []string, j *jobs.Job) {
 	g := rb.g
 	rb.tombs.Add(1)
+	j.Add("tombstones", 1)
 	for _, h := range holders {
 		if !g.reg.Alive(h) {
 			continue
@@ -419,6 +459,7 @@ func (rb *Rebalancer) propagate(ctx context.Context, d repo.Digest, holders []st
 		if err != nil && server.StatusCode(err) == http.StatusConflict {
 			// A task re-referenced the digest: the delete loses there.
 			rb.skipped.Add(1)
+			j.Add("skipped", 1)
 		}
 	}
 }

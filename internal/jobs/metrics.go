@@ -1,0 +1,53 @@
+package jobs
+
+import "repro/internal/metrics"
+
+// RegisterMetrics exposes a table's state on a metrics registry:
+//
+//	vbs_jobs_running{kind}            currently running jobs per kind
+//	vbs_jobs_finished{kind,status}    terminal jobs still in the table
+//	vbs_job_progress{kind,counter}    progress counters of each kind's
+//	                                  most recent job (running preferred)
+//
+// The gauges are rebuilt from the table on every scrape, so job kinds
+// and counters appear as soon as a job uses them. Call it once from
+// the constructor that owns both the registry and the table.
+func RegisterMetrics(reg *metrics.Registry, t *Table) {
+	running := reg.GaugeVec("vbs_jobs_running",
+		"Background jobs currently running, by kind.", "kind")
+	finished := reg.GaugeVec("vbs_jobs_finished",
+		"Terminal background jobs still listed, by kind and status.", "kind", "status")
+	progress := reg.GaugeVec("vbs_job_progress",
+		"Named progress counters of the most recent job of each kind.", "kind", "counter")
+	reg.OnCollect(func() {
+		running.Reset()
+		finished.Reset()
+		progress.Reset()
+		latest := map[string]Snapshot{}
+		for _, s := range t.List() {
+			if s.Status.Terminal() {
+				g := finished.With(s.Kind, string(s.Status))
+				g.Set(g.Value() + 1)
+			} else {
+				g := running.With(s.Kind)
+				g.Set(g.Value() + 1)
+			}
+			// List is id-ordered, so a later snapshot is newer — but a
+			// running job beats any finished one of the same kind.
+			cur, ok := latest[s.Kind]
+			if !ok || !s.Status.Terminal() || cur.Status.Terminal() {
+				latest[s.Kind] = s
+			}
+		}
+		for kind, s := range latest {
+			for name, v := range s.Progress {
+				progress.With(kind, name).Set(float64(v))
+			}
+		}
+		// Defined-but-idle kinds still export a zero series, so a scrape
+		// distinguishes "kind exists, nothing running" from "no such kind".
+		for _, k := range t.Kinds() {
+			running.With(k)
+		}
+	})
+}

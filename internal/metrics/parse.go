@@ -1,0 +1,269 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series line from a text-format exposition:
+// name, label set, value. Histogram series appear under their
+// expanded names (_bucket with an le label, _sum, _count).
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Parse reads a Prometheus text exposition, returning every sample.
+// Comment and blank lines are skipped; a malformed sample line is an
+// error — the scrape assertions in CI rely on Parse rejecting garbage.
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Name runs up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := -1
+		// Scan for the closing brace outside quoted values.
+		inQ, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inQ = !inQ
+			case c == '}' && !inQ:
+				close = i
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:close], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[close+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may trail the value; take the first field.
+	if i := strings.IndexAny(valStr, " \t"); i >= 0 {
+		valStr = valStr[:i]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	rest := body
+	for strings.TrimSpace(rest) != "" {
+		rest = strings.TrimLeft(rest, ", \t")
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label pair in %q", body)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		var b strings.Builder
+		i, closed := 1, false
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(rest[i])
+				default:
+					b.WriteByte('\\')
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		into[name] = b.String()
+		rest = rest[i+1:]
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Find returns the value of the sample matching name and the given
+// label subset (every listed label must match; extra labels on the
+// sample are ignored).
+func Find(samples []Sample, name string, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Buckets extracts a histogram's cumulative buckets from parsed
+// samples: the <name>_bucket series matching the label subset, sorted
+// by le. Returns nil when the family is absent.
+func Buckets(samples []Sample, name string, labels map[string]string) []Bucket {
+	var out []Bucket
+	for _, s := range samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		out = append(out, Bucket{Upper: le, Count: uint64(s.Value)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Upper < out[j].Upper })
+	return out
+}
+
+// SubtractBuckets returns after-before per bucket — the observation
+// deltas of a scrape window. The two slices must describe the same
+// bucket layout (same le bounds in order); mismatches return nil.
+func SubtractBuckets(before, after []Bucket) []Bucket {
+	if len(before) != len(after) {
+		return nil
+	}
+	out := make([]Bucket, len(after))
+	for i := range after {
+		if before[i].Upper != after[i].Upper || after[i].Count < before[i].Count {
+			return nil
+		}
+		out[i] = Bucket{Upper: after[i].Upper, Count: after[i].Count - before[i].Count}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) from cumulative histogram
+// buckets, Prometheus histogram_quantile semantics: linear
+// interpolation inside the target bucket, the +Inf bucket clamping to
+// the highest finite bound. Returns NaN on empty input.
+func Quantile(q float64, buckets []Bucket) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	for i, b := range buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.Upper, +1) {
+			// Observations above every finite bound: the best honest
+			// answer is the highest finite bound.
+			if i == 0 {
+				return math.NaN()
+			}
+			return buckets[i-1].Upper
+		}
+		lower, below := 0.0, uint64(0)
+		if i > 0 {
+			lower, below = buckets[i-1].Upper, buckets[i-1].Count
+		}
+		in := b.Count - below
+		if in == 0 {
+			return b.Upper
+		}
+		return lower + (b.Upper-lower)*((rank-float64(below))/float64(in))
+	}
+	return buckets[len(buckets)-1].Upper
+}

@@ -34,6 +34,7 @@ package repo
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -592,8 +593,20 @@ type VerifyReport struct {
 // address. Corrupt blobs are quarantined (unless read-only) and
 // reported.
 func (r *Repo) Verify() VerifyReport {
+	rep, _ := r.VerifyCtx(context.Background())
+	return rep
+}
+
+// VerifyCtx is Verify bounded by ctx, checked between blobs — the
+// scrub job runs it under an abortable job context, so a fleet-wide
+// verification can be cancelled without waiting out the disk. The
+// partial report covers the blobs checked before cancellation.
+func (r *Repo) VerifyCtx(ctx context.Context) (VerifyReport, error) {
 	var rep VerifyReport
 	for _, b := range r.List() {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		rep.Checked++
 		if _, err := r.Get(b.Digest); err != nil {
 			rep.Corrupt = append(rep.Corrupt, b.Digest)
@@ -601,7 +614,7 @@ func (r *Repo) Verify() VerifyReport {
 		}
 		rep.Bytes += b.Bytes
 	}
-	return rep
+	return rep, nil
 }
 
 // GCReport summarizes a GC pass.

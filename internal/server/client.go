@@ -10,6 +10,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // Client is a thin Go client for the vbsd HTTP API. Every method has
@@ -327,4 +328,53 @@ func (c *Client) Tombstones(ctx context.Context) ([]TombstoneInfo, error) {
 	var out []TombstoneInfo
 	err := c.do(ctx, http.MethodGet, "/tombstones", nil, &out)
 	return out, err
+}
+
+// StartJobCtx launches a background job (POST /jobs) and returns its
+// initial snapshot. An unknown kind is a 400, an exclusive collision
+// a 409 (inspect with StatusCode).
+func (c *Client) StartJobCtx(ctx context.Context, kind string, args map[string]string) (JobInfo, error) {
+	var out JobInfo
+	err := c.do(ctx, http.MethodPost, "/jobs", StartJobRequest{Kind: kind, Args: args}, &out)
+	return out, err
+}
+
+// JobsCtx lists every running and recently finished job.
+func (c *Client) JobsCtx(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &out)
+	return out, err
+}
+
+// JobCtx fetches one job's snapshot by id.
+func (c *Client) JobCtx(ctx context.Context, id int64) (JobInfo, error) {
+	var out JobInfo
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/jobs/%d", id), nil, &out)
+	return out, err
+}
+
+// AbortJobCtx signals a job to stop (DELETE /jobs/{id}); the runner
+// winds down asynchronously — poll JobCtx for the terminal state.
+func (c *Client) AbortJobCtx(ctx context.Context, id int64) (JobInfo, error) {
+	var out JobInfo
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/jobs/%d", id), nil, &out)
+	return out, err
+}
+
+// MetricsCtx scrapes GET /metrics and parses the Prometheus text
+// exposition into samples.
+func (c *Client) MetricsCtx(ctx context.Context) ([]metrics.Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, readAPIError(resp)
+	}
+	return metrics.Parse(resp.Body)
 }

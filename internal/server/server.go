@@ -38,6 +38,7 @@
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -51,6 +52,8 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/fabric"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/repo"
 	"repro/internal/sched"
 	"repro/internal/server/store"
@@ -127,6 +130,11 @@ type Server struct {
 	compactions  atomic.Uint64
 	compactMoved atomic.Uint64
 	retryLoads   atomic.Uint64
+
+	jobs      *jobs.Table
+	metrics   *metrics.Registry
+	opLat     *metrics.HistogramVec
+	decodeLat *metrics.Histogram
 }
 
 // task maps a server task id to its fabric-level identity.
@@ -158,7 +166,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
-	return &Server{
+	s := &Server{
 		ctrls: ctrls,
 		store: store.NewTiered(opts.StoreBytes, disk),
 		cache: store.NewCache[*controller.Decoded](opts.CacheBits,
@@ -172,7 +180,11 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
 		pending: make(map[store.Digest]int),
-	}, nil
+		jobs:    jobs.NewTable(),
+	}
+	s.defineJobs()
+	s.metrics = newServerMetrics(s)
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP routes.
@@ -189,6 +201,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /vbs/{digest}", s.handleGetVBS)
 	mux.HandleFunc("DELETE /vbs/{digest}", s.handleDeleteVBS)
 	mux.HandleFunc("GET /tombstones", s.handleTombstones)
+	mux.HandleFunc("POST /jobs", s.handleStartJob)
+	mux.HandleFunc("GET /jobs", s.handleListJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleAbortJob)
+	mux.Handle("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -281,6 +298,12 @@ func writePutError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, "bad vbs container: %v", err)
 }
 
+// observe records one operation's latency on the op histogram —
+// deferred at the top of each hot handler so errors are measured too.
+func (s *Server) observe(op string, begin time.Time) {
+	s.opLat.With(op).Observe(time.Since(begin).Seconds())
+}
+
 // getOrDecode returns the decoded form of a stored VBS, consulting the
 // LRU first and collapsing concurrent decodes of the same digest.
 func (s *Server) getOrDecode(ent *store.Entry) (dec *controller.Decoded, cached bool, err error) {
@@ -288,10 +311,12 @@ func (s *Server) getOrDecode(ent *store.Entry) (dec *controller.Decoded, cached 
 		return d, true, nil
 	}
 	d, err, shared := s.flight.Do(ent.Digest, func() (*controller.Decoded, error) {
+		begin := time.Now()
 		d, err := controller.DecodeVBS(ent.VBS, s.workers)
 		if err != nil {
 			return nil, err
 		}
+		s.decodeLat.Observe(time.Since(begin).Seconds())
 		s.decodes.Add(1)
 		s.cache.Put(ent.Digest, d)
 		return d, nil
@@ -306,6 +331,7 @@ func (s *Server) getOrDecode(ent *store.Entry) (dec *controller.Decoded, cached 
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
+	defer s.observe("load", begin)
 	var req LoadRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -510,6 +536,7 @@ func (s *Server) taskFromPath(w http.ResponseWriter, r *http.Request) (*task, bo
 }
 
 func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("unload", time.Now())
 	t, ok := s.taskFromPath(w, r)
 	if !ok {
 		return
@@ -543,6 +570,7 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRelocate(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("relocate", time.Now())
 	t, ok := s.taskFromPath(w, r)
 	if !ok {
 		return
@@ -647,6 +675,7 @@ func (s *Server) digestRefs() map[store.Digest]int {
 // to pre-seed a daemon. The blob lands in both tiers exactly like a
 // load-time admission (write-through with a data dir).
 func (s *Server) handlePutVBS(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("vbs_put", time.Now())
 	var req PutVBSRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -707,6 +736,7 @@ func digestFromPath(w http.ResponseWriter, r *http.Request) (store.Digest, bool)
 // handleGetVBS serves a stored container verbatim — the raw-blob
 // download path, straight from whichever tier holds the digest.
 func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("vbs_get", time.Now())
 	d, ok := digestFromPath(w, r)
 	if !ok {
 		return
@@ -749,6 +779,7 @@ func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 // physical trim of a surplus replica (the rebalancer's move
 // primitive), not a logical delete of the digest.
 func (s *Server) handleDeleteVBS(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("vbs_delete", time.Now())
 	d, ok := digestFromPath(w, r)
 	if !ok {
 		return
@@ -822,8 +853,18 @@ func (s *Server) RecoveryReport() repo.ScanReport {
 // decoded-bitstream cache, so a restarted daemon serves its first
 // loads at cache-hit latency. It returns how many blobs were warmed.
 func (s *Server) WarmDecoded(max int) (int, error) {
+	return s.warmDecoded(context.Background(), max, nil)
+}
+
+// warmDecoded is WarmDecoded bounded by ctx (checked between blobs —
+// the warm job runs it under an abortable job context). note, when
+// non-nil, receives per-blob progress ("warmed", 1).
+func (s *Server) warmDecoded(ctx context.Context, max int, note func(string, int64)) (int, error) {
 	warmed := 0
 	for _, b := range s.store.List() {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
 		if max > 0 && warmed >= max {
 			break
 		}
@@ -835,6 +876,9 @@ func (s *Server) WarmDecoded(max int) (int, error) {
 			return warmed, err
 		}
 		warmed++
+		if note != nil {
+			note("warmed", 1)
+		}
 	}
 	return warmed, nil
 }

@@ -1,6 +1,22 @@
 package server
 
-import "repro/internal/controller"
+import (
+	"repro/internal/controller"
+	"repro/internal/jobs"
+)
+
+// StartJobRequest is the body of POST /jobs on both vbsd and vbsgw.
+type StartJobRequest struct {
+	// Kind names a defined job kind (GET /jobs on a 400 reply lists
+	// the valid ones).
+	Kind string `json:"kind"`
+	// Args are kind-specific string arguments (e.g. "max" for warm).
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// JobInfo is the wire view of one background job — jobs.Snapshot
+// aliased into the API package so clients need not import the engine.
+type JobInfo = jobs.Snapshot
 
 // LoadRequest is the body of POST /tasks.
 type LoadRequest struct {

@@ -29,8 +29,11 @@ done
 
 echo "== drive $duration of mixed load" >&2
 # Two steps (not a pipeline) so a failing run cannot overwrite the
-# baseline with a partial document.
-"$work/bin/vbsload" -url "http://$addr" -duration "$duration" -workers 8 \
+# baseline with a partial document. -scrape adds the daemon's own
+# /metrics histogram percentiles (server_side block) to the baseline,
+# so client- and server-observed latency diverge visibly in review.
+"$work/bin/vbsload" -url "http://$addr" -scrape "http://$addr" \
+  -duration "$duration" -workers 8 \
   -tasks 8 -mix 20:60:20 -json >"$work/bench_serve.json"
 mv "$work/bench_serve.json" BENCH_serve.json
 echo "== wrote BENCH_serve.json" >&2

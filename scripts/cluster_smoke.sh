@@ -10,9 +10,11 @@
 #      on exactly its replica set
 #   5. download every digest through the gateway, byte-compare
 #      (this read-repairs the imported blob onto its ring owners)
-#   6. drive a concurrent load/get/unload mix at the gateway with
+#   6. scrape /metrics on the gateway and a node (required families
+#      present) and run a reconcile job end-to-end via POST /jobs
+#   7. drive a concurrent load/get/unload mix at the gateway with
 #      vbsload under a strict error budget
-#   7. join a fresh fourth node via `vbsgw node add` while a second
+#   8. join a fresh fourth node via `vbsgw node add` while a second
 #      vbsload mix runs with -max-error-rate 0: elastic membership
 #      must be invisible to clients
 #
@@ -120,6 +122,46 @@ case "$stats" in
   *'"ring_version":"'*) ;;
   *) echo "FAIL: /stats cluster block missing ring_version" >&2; exit 1 ;;
 esac
+
+echo "== /metrics exposition on the gateway and a node"
+gw_metrics=$(curl -fsS "http://$gwaddr/metrics")
+for fam in vbs_gateway_op_duration_seconds_bucket vbs_cluster_nodes \
+           vbs_cluster_alive_nodes vbs_rebalance_passes_total vbs_jobs_running; do
+  case "$gw_metrics" in
+    *"$fam"*) ;;
+    *) echo "FAIL: gateway /metrics missing family $fam" >&2; exit 1 ;;
+  esac
+done
+node_metrics=$(curl -fsS "http://${node_addrs[0]}/metrics")
+for fam in vbs_server_op_duration_seconds_bucket vbs_cache_hits_total vbs_jobs_running; do
+  case "$node_metrics" in
+    *"$fam"*) ;;
+    *) echo "FAIL: node /metrics missing family $fam" >&2; exit 1 ;;
+  esac
+done
+
+echo "== reconcile job via POST /jobs runs to done"
+job=$(curl -fsS -XPOST --data '{"kind":"reconcile"}' "http://$gwaddr/jobs")
+job_id=$(printf '%s' "$job" | sed -n 's/.*"id":\([0-9]\+\).*/\1/p')
+if [ -z "$job_id" ]; then
+  echo "FAIL: POST /jobs returned no job id: $job" >&2
+  exit 1
+fi
+job_done=""
+for _ in $(seq 1 100); do
+  snap=$(curl -fsS "http://$gwaddr/jobs/$job_id")
+  case "$snap" in
+    *'"status":"done"'*) job_done=1; break ;;
+    *'"status":"failed"'* | *'"status":"aborted"'*)
+      echo "FAIL: reconcile job did not finish cleanly: $snap" >&2
+      exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ -z "$job_done" ]; then
+  echo "FAIL: reconcile job still running after 10s" >&2
+  exit 1
+fi
 
 echo "== vbsload mix against the cluster, strict error budget"
 "$work/bin/vbsload" -url "http://$gwaddr" -ops 60 -workers 4 -tasks 2 \
