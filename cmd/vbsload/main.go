@@ -14,6 +14,13 @@
 // loaded task; both degrade to a load while nothing is loaded yet.
 // Remaining tasks are unloaded at the end unless -cleanup=false.
 //
+// With -batch N, workers compose N ops from the mix into one
+// POST /tasks:batch round trip instead of N separate requests; the
+// report gains a `batch` block with per-batch round-trip percentiles
+// (per-op latencies are then the amortized batch cost). Capacity
+// rejections (409 from a full fabric pool) are reported as rejects,
+// separate from errors, and do not count against -max-error-rate.
+//
 // With -scrape, vbsload snapshots the target's GET /metrics before
 // and after the run and folds the *server-side* latency percentiles
 // of the window (p50/p90/p99 per op, estimated from the histogram
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -54,8 +62,23 @@ const (
 
 var opNames = [nOps]string{"load", "get", "unload"}
 
-// opStats is one op type's summary.
+// opStats is one op type's summary. Errors are transport failures and
+// 5xx replies; capacity rejections (409) count separately as rejects —
+// a full fabric refusing a load is the service working, not failing.
 type opStats struct {
+	Count   int     `json:"count"`
+	Errors  int     `json:"errors"`
+	Rejects int     `json:"rejects,omitempty"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// batchStats summarizes the batched round trips of a -batch run:
+// counts and percentiles are per *batch call*, not per op.
+type batchStats struct {
+	Size   int     `json:"size"`
 	Count  int     `json:"count"`
 	Errors int     `json:"errors"`
 	P50MS  float64 `json:"p50_ms"`
@@ -82,8 +105,10 @@ type summary struct {
 	WallS      float64            `json:"wall_s"`
 	Ops        int                `json:"ops"`
 	Errors     int                `json:"errors"`
+	Rejects    int                `json:"rejects,omitempty"`
 	ReqPerSec  float64            `json:"req_per_sec"`
 	PerOp      map[string]opStats `json:"per_op"`
+	Batch      *batchStats        `json:"batch,omitempty"`
 	LastErrors map[string]string  `json:"last_errors,omitempty"`
 	// ScrapeURL / ServerSide are filled by -scrape: the target's own
 	// op-latency histograms diffed across the run.
@@ -104,7 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "generation and mix seed")
 		jsonOut  = fs.Bool("json", false, "emit a JSON summary on stdout")
 		cleanup  = fs.Bool("cleanup", true, "unload remaining tasks at the end")
-		maxErr   = fs.Float64("max-error-rate", 1.0, "fail (exit 1) when errors/ops exceeds this fraction")
+		batch    = fs.Int("batch", 1, "ops per POST /tasks:batch round trip (1 = unbatched endpoints)")
+		maxErr   = fs.Float64("max-error-rate", 1.0, "fail (exit 1) when errors/ops exceeds this fraction (409 capacity rejections are not errors)")
 		scrape   = fs.String("scrape", "", "scrape this base URL's /metrics before and after the run and report server-side percentile deltas (usually the -url target)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 1 || *tasks < 1 || (*ops == 0 && *duration <= 0) {
 		fmt.Fprintln(stderr, "vbsload: need -workers >= 1, -tasks >= 1 and a positive -ops or -duration")
+		return 2
+	}
+	if *batch < 1 {
+		fmt.Fprintln(stderr, "vbsload: -batch must be >= 1")
 		return 2
 	}
 
@@ -146,6 +176,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	bench := newBench(cl, containers, weights, *seed)
+	bench.batch = *batch
 	wall := bench.run(*workers, *ops, *duration)
 
 	var after []metrics.Sample
@@ -257,12 +288,34 @@ type bench struct {
 	wsum       int
 	seed       int64
 
-	mu      sync.Mutex
-	loaded  []int64  // task ids available for unload
-	digests []string // digests available for get
-	lastErr [nOps]string
-	lats    [nOps][]float64 // milliseconds
-	errs    [nOps]int
+	batch int // ops per batched round trip (1 = unbatched)
+
+	mu        sync.Mutex
+	loaded    []int64  // task ids available for unload
+	digests   []string // digests available for get
+	lastErr   [nOps]string
+	lats      [nOps][]float64 // milliseconds
+	errs      [nOps]int
+	rejects   [nOps]int
+	batchLats []float64 // per-batch round-trip milliseconds
+	batchErrs int
+}
+
+// classify buckets an op outcome (b.mu held): a 409 is the fabric
+// pool rejecting for capacity — a reject, not an error, so
+// -max-error-rate gates on actual breakage (transport failures and
+// 5xx). The committed serve baseline's "load errors" were all such
+// 409s.
+func (b *bench) classify(op opKind, err error) {
+	if err == nil {
+		return
+	}
+	if server.StatusCode(err) == http.StatusConflict {
+		b.rejects[op]++
+		return
+	}
+	b.errs[op]++
+	b.lastErr[op] = err.Error()
 }
 
 func newBench(cl *server.Client, containers [][]byte, weights [nOps]int, seed int64) *bench {
@@ -301,10 +354,7 @@ func (b *bench) record(op opKind, start time.Time, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.lats[op] = append(b.lats[op], ms)
-	if err != nil {
-		b.errs[op]++
-		b.lastErr[op] = err.Error()
-	}
+	b.classify(op, err)
 }
 
 func (b *bench) doOne(rng *rand.Rand) {
@@ -344,6 +394,75 @@ func (b *bench) doOne(rng *rand.Rand) {
 	}
 }
 
+// doBatch composes n ops from the mix into one POST /tasks:batch
+// round trip. The batch latency is recorded once in the batch
+// scoreboard and amortized (batch wall / n) into the per-op series so
+// the per-op percentiles reflect effective per-op cost.
+func (b *bench) doBatch(rng *rand.Rand, n int) {
+	kinds := make([]opKind, 0, n)
+	ops := make([]server.BatchOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch op := b.pick(rng); op {
+		case opLoad:
+			kinds = append(kinds, opLoad)
+			ops = append(ops, server.BatchLoadOp(b.containers[rng.Intn(len(b.containers))]))
+		case opGet:
+			b.mu.Lock()
+			d := b.digests[rng.Intn(len(b.digests))]
+			b.mu.Unlock()
+			kinds = append(kinds, opGet)
+			ops = append(ops, server.BatchOp{Op: "get", Digest: d})
+		case opUnload:
+			b.mu.Lock()
+			if len(b.loaded) == 0 {
+				b.mu.Unlock()
+				kinds = append(kinds, opLoad)
+				ops = append(ops, server.BatchLoadOp(b.containers[rng.Intn(len(b.containers))]))
+				continue
+			}
+			j := rng.Intn(len(b.loaded))
+			id := b.loaded[j]
+			b.loaded[j] = b.loaded[len(b.loaded)-1]
+			b.loaded = b.loaded[:len(b.loaded)-1]
+			b.mu.Unlock()
+			kinds = append(kinds, opUnload)
+			ops = append(ops, server.BatchOp{Op: "unload", ID: id})
+		}
+	}
+
+	start := time.Now()
+	resp, err := b.cl.BatchCtx(context.Background(), server.BatchRequest{Ops: ops})
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	perOp := ms / float64(len(ops))
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batchLats = append(b.batchLats, ms)
+	if err != nil || len(resp.Results) != len(ops) {
+		if err == nil {
+			err = fmt.Errorf("short batch reply: %d results for %d ops", len(resp.Results), len(ops))
+		}
+		b.batchErrs++
+		for _, k := range kinds {
+			b.lats[k] = append(b.lats[k], perOp)
+			b.classify(k, err)
+		}
+		return
+	}
+	for i, r := range resp.Results {
+		k := kinds[i]
+		b.lats[k] = append(b.lats[k], perOp)
+		if r.Status >= 200 && r.Status < 300 {
+			if k == opLoad && r.Load != nil {
+				b.loaded = append(b.loaded, r.Load.ID)
+				b.digests = appendUnique(b.digests, r.Load.Digest)
+			}
+			continue
+		}
+		b.classify(k, server.BatchError(r))
+	}
+}
+
 func appendUnique(s []string, v string) []string {
 	for _, x := range s {
 		if x == v {
@@ -366,14 +485,28 @@ func (b *bench) run(workers, ops int, duration time.Duration) time.Duration {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(b.seed + int64(i)*7919))
 			for {
+				n := 1
+				if b.batch > 1 {
+					n = b.batch
+				}
 				if ops > 0 {
-					if counter.Add(1) > int64(ops) {
-						return
+					// Claim n ops off the shared budget; trim the final
+					// batch to what is left.
+					claimed := counter.Add(int64(n))
+					if over := claimed - int64(ops); over > 0 {
+						n -= int(over)
+						if n <= 0 {
+							return
+						}
 					}
 				} else if time.Now().After(deadline) {
 					return
 				}
-				b.doOne(rng)
+				if b.batch > 1 {
+					b.doBatch(rng, n)
+				} else {
+					b.doOne(rng)
+				}
 			}
 		}(i)
 	}
@@ -415,11 +548,12 @@ func (b *bench) summarize(url string, workers int, mix string, wall time.Duratio
 		lat := append([]float64(nil), b.lats[op]...)
 		sort.Float64s(lat)
 		st := opStats{
-			Count:  len(lat),
-			Errors: b.errs[op],
-			P50MS:  percentile(lat, 0.50),
-			P90MS:  percentile(lat, 0.90),
-			P99MS:  percentile(lat, 0.99),
+			Count:   len(lat),
+			Errors:  b.errs[op],
+			Rejects: b.rejects[op],
+			P50MS:   percentile(lat, 0.50),
+			P90MS:   percentile(lat, 0.90),
+			P99MS:   percentile(lat, 0.99),
 		}
 		if len(lat) > 0 {
 			st.MaxMS = lat[len(lat)-1]
@@ -427,12 +561,29 @@ func (b *bench) summarize(url string, workers int, mix string, wall time.Duratio
 		s.PerOp[opNames[op]] = st
 		s.Ops += st.Count
 		s.Errors += st.Errors
+		s.Rejects += st.Rejects
 		if b.lastErr[op] != "" {
 			if s.LastErrors == nil {
 				s.LastErrors = map[string]string{}
 			}
 			s.LastErrors[opNames[op]] = b.lastErr[op]
 		}
+	}
+	if b.batch > 1 {
+		lat := append([]float64(nil), b.batchLats...)
+		sort.Float64s(lat)
+		bs := &batchStats{
+			Size:   b.batch,
+			Count:  len(lat),
+			Errors: b.batchErrs,
+			P50MS:  percentile(lat, 0.50),
+			P90MS:  percentile(lat, 0.90),
+			P99MS:  percentile(lat, 0.99),
+		}
+		if len(lat) > 0 {
+			bs.MaxMS = lat[len(lat)-1]
+		}
+		s.Batch = bs
 	}
 	if s.WallS > 0 {
 		s.ReqPerSec = float64(s.Ops) / s.WallS
@@ -443,15 +594,19 @@ func (b *bench) summarize(url string, workers int, mix string, wall time.Duratio
 func printSummary(w io.Writer, s summary) {
 	fmt.Fprintf(w, "target   : %s (%d workers, mix %s, %d distinct tasks)\n",
 		s.URL, s.Workers, s.Mix, s.Tasks)
-	fmt.Fprintf(w, "total    : %d ops in %.2fs = %.1f req/s, %d error(s)\n",
-		s.Ops, s.WallS, s.ReqPerSec, s.Errors)
+	fmt.Fprintf(w, "total    : %d ops in %.2fs = %.1f req/s, %d error(s), %d reject(s)\n",
+		s.Ops, s.WallS, s.ReqPerSec, s.Errors, s.Rejects)
 	for _, name := range opNames {
 		st := s.PerOp[name]
 		if st.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%-9s: %6d ops  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  (%d err)\n",
-			name, st.Count, st.P50MS, st.P90MS, st.P99MS, st.MaxMS, st.Errors)
+		fmt.Fprintf(w, "%-9s: %6d ops  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  (%d err, %d rej)\n",
+			name, st.Count, st.P50MS, st.P90MS, st.P99MS, st.MaxMS, st.Errors, st.Rejects)
+	}
+	if s.Batch != nil {
+		fmt.Fprintf(w, "batch(%d) : %6d rtt  p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms  (%d err)\n",
+			s.Batch.Size, s.Batch.Count, s.Batch.P50MS, s.Batch.P90MS, s.Batch.P99MS, s.Batch.MaxMS, s.Batch.Errors)
 	}
 	for name, msg := range s.LastErrors {
 		fmt.Fprintf(w, "last %s error: %s\n", name, msg)

@@ -195,6 +195,91 @@ func TestMaxErrorRate(t *testing.T) {
 	}
 }
 
+// TestRunBatch: -batch N drives POST /tasks:batch; the summary gains
+// the batch block, per-op counts still add up to -ops, and a clean
+// batched run passes a zero error budget.
+func TestRunBatch(t *testing.T) {
+	url := startDaemon(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", url, "-ops", "40", "-workers", "4", "-batch", "8",
+		"-tasks", "2", "-mix", "40:40:20", "-json", "-max-error-rate", "0",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var s summary
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, stdout.String())
+	}
+	if s.Ops != 40 {
+		t.Errorf("ops = %d, want 40", s.Ops)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d (%v)", s.Errors, s.LastErrors)
+	}
+	if s.Batch == nil {
+		t.Fatalf("no batch block in %s", stdout.String())
+	}
+	if s.Batch.Size != 8 || s.Batch.Count == 0 || s.Batch.Errors != 0 {
+		t.Errorf("batch block = %+v", s.Batch)
+	}
+	if s.Batch.P99MS < s.Batch.P50MS || s.Batch.MaxMS < s.Batch.P99MS {
+		t.Errorf("batch percentiles inconsistent: %+v", s.Batch)
+	}
+	// Cleanup drained every loaded task.
+	tasks, err := server.NewClient(url, nil).Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Errorf("%d task(s) left after cleanup", len(tasks))
+	}
+}
+
+// rejectingDaemon serves /fabrics but answers every load with 409 —
+// the shape of a fabric pool at capacity.
+func rejectingDaemon(t *testing.T) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fabrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`[{"index":0,"width":16,"height":16,"channel_width":8,"lut_size":6}]`))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no fabric can admit task"}`, http.StatusConflict)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestRejectsAreNotErrors: 409 capacity rejections land in the rejects
+// bucket and do NOT trip -max-error-rate — the committed baseline's
+// "load errors" were all such 409s, and gating on them would turn a
+// full-but-healthy fleet into a red build.
+func TestRejectsAreNotErrors(t *testing.T) {
+	url := rejectingDaemon(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", url, "-ops", "10", "-workers", "2", "-tasks", "1",
+		"-mix", "100:0:0", "-cleanup=false", "-json", "-max-error-rate", "0",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: capacity rejections tripped the error budget\nstderr: %s", code, stderr.String())
+	}
+	var s summary
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, stdout.String())
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (all 409s)", s.Errors)
+	}
+	if s.Rejects != 10 || s.PerOp["load"].Rejects != 10 {
+		t.Errorf("rejects = %d (per-op %d), want 10", s.Rejects, s.PerOp["load"].Rejects)
+	}
+}
+
 // TestMaxErrorRatePassesCleanRun: a healthy run under a zero budget
 // stays exit 0.
 func TestMaxErrorRatePassesCleanRun(t *testing.T) {

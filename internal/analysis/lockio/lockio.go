@@ -248,6 +248,12 @@ func ioCall(fn *types.Func) string {
 			return ""
 		}
 		return "os." + fn.Name()
+	case "repro/internal/transport":
+		// Dial and Upgrade touch the socket directly; Stream methods
+		// are classified by receiver below (Open only spawns the loop).
+		if fn.Name() == "Dial" || fn.Name() == "Upgrade" {
+			return "transport." + fn.Name() + " (network)"
+		}
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
@@ -272,8 +278,20 @@ func ioCall(fn *types.Func) string {
 			return ""
 		}
 		return "repo.Repo." + fn.Name() + " (disk)"
+	case named.Obj().Pkg().Path() == "repro/internal/transport" && named.Obj().Name() == "Stream":
+		if !blockingStreamMethods[fn.Name()] { // Connected is a lock-cheap accessor
+			return ""
+		}
+		return "transport.Stream." + fn.Name() + " (stream)"
 	}
 	return ""
+}
+
+// blockingStreamMethods names the transport.Stream methods that can
+// block on the network or the send window; holding a lock across them
+// stalls every goroutine queued behind it when a peer goes slow.
+var blockingStreamMethods = map[string]bool{
+	"Send": true, "Call": true, "Ping": true, "Close": true,
 }
 
 // diskRepoMethods names the repo.Repo methods that perform file I/O;

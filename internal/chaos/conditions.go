@@ -157,6 +157,8 @@ func checkMetricsScrapeable(ctx context.Context, e *Env) error {
 		"vbs_cluster_alive_nodes",
 		"vbs_rebalance_passes_total",
 		"vbs_jobs_running",
+		"vbs_transport_streams_open",
+		"vbs_transport_frames_sent_total",
 	} {
 		if !hasFamily(gw, fam) {
 			return fmt.Errorf("gateway /metrics missing family %s", fam)
@@ -175,6 +177,8 @@ func checkMetricsScrapeable(ctx context.Context, e *Env) error {
 			"vbs_server_op_duration_seconds",
 			"vbs_cache_hits_total",
 			"vbs_jobs_running",
+			"vbs_transport_streams_open",
+			"vbs_transport_frames_received_total",
 		} {
 			if !hasFamily(node, fam) {
 				return fmt.Errorf("%s /metrics missing family %s", n.Name(), fam)
@@ -279,6 +283,41 @@ var ownersHoldReplicas = Condition{
 					return fmt.Errorf("owner %s of %.12s does not hold it yet", n.Name(), ds)
 				}
 			}
+		}
+		return nil
+	},
+}
+
+// sampleValue returns the value of a single unlabeled sample (0 when
+// absent).
+func sampleValue(samples []metrics.Sample, name string) float64 {
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// streamsHealed: after a kill-and-restart the gateway's persistent
+// data-plane streams recovered on their own. The streams-open gauge
+// proves the pool is live again, and the reconnect counter proves the
+// recovery went through the stream's redial path — the killed node's
+// stream was cut mid-flight and came back, with nothing replayed
+// corruptly (corrupt serves are independently fatal in
+// checkErrorBudget).
+var streamsHealed = Condition{
+	Name: "streams-healed",
+	Check: func(ctx context.Context, e *Env) error {
+		samples, err := e.Fleet.Client.MetricsCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("gateway /metrics: %w", err)
+		}
+		if open := sampleValue(samples, "vbs_transport_streams_open"); open < 1 {
+			return fmt.Errorf("no live gateway stream (open=%g)", open)
+		}
+		if rec := sampleValue(samples, "vbs_transport_reconnects_total"); rec < 1 {
+			return fmt.Errorf("no stream reconnect recorded — the killed node's stream never re-dialed")
 		}
 		return nil
 	},

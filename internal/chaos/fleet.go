@@ -183,6 +183,11 @@ type localNode struct {
 	mu    sync.Mutex
 	hs    *http.Server
 	alive bool
+	// Hijacked stream connections. http.Server.Close does not touch
+	// them (they left its accounting at upgrade time), so a faithful
+	// kill -9 must sever them by hand or the "dead" node would keep
+	// serving its transport streams.
+	hijacked map[net.Conn]struct{}
 }
 
 func newLocalNode(ctx context.Context, name, dataDir string) (*localNode, error) {
@@ -219,7 +224,20 @@ func (n *localNode) start(ln net.Listener) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		ConnState: func(c net.Conn, st http.ConnState) {
+			if st != http.StateHijacked {
+				return
+			}
+			n.mu.Lock()
+			if n.hijacked == nil {
+				n.hijacked = make(map[net.Conn]struct{})
+			}
+			n.hijacked[c] = struct{}{}
+			n.mu.Unlock()
+		},
+	}
 	go func() { _ = hs.Serve(ln) }()
 	n.mu.Lock()
 	n.hs, n.alive = hs, true
@@ -241,8 +259,12 @@ func (n *localNode) Alive() bool {
 func (n *localNode) Kill() error {
 	n.mu.Lock()
 	hs := n.hs
-	n.hs, n.alive = nil, false
+	conns := n.hijacked
+	n.hs, n.alive, n.hijacked = nil, false, nil
 	n.mu.Unlock()
+	for c := range conns {
+		c.Close()
+	}
 	if hs != nil {
 		return hs.Close()
 	}

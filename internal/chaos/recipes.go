@@ -104,6 +104,11 @@ func victim(ctx context.Context, e *Env) Node {
 }
 
 func runNodeKill(ctx context.Context, e *Env) error {
+	// A *re*connect is only well-defined for a stream that connected
+	// before the kill, so wait (bounded) until the gateway's stream
+	// pool covers the whole fleet — replication traffic warms it
+	// within the first few loads.
+	streamsWarm := waitStreamsOpen(ctx, e, len(e.Fleet.Nodes))
 	v := victim(ctx, e)
 	if err := e.KillNode(v); err != nil {
 		return err
@@ -117,7 +122,33 @@ func runNodeKill(ctx context.Context, e *Env) error {
 	// Post-restart traffic drives the reads whose repair sweeps heal
 	// any replica the dead node missed.
 	Sleep(ctx, e.Cfg.FaultPhase/2)
+	if streamsWarm {
+		// The kill cut the victim's replication stream mid-flight; the
+		// pool must heal it by reconnecting, never by serving junk.
+		e.AddCondition(streamsHealed)
+	} else {
+		e.recordFault("streams never warmed pre-kill; skipping the streams-healed condition")
+	}
 	return nil
+}
+
+// waitStreamsOpen polls the gateway until its stream pool holds at
+// least n live streams, giving up after the fault phase. Returns
+// whether the pool warmed in time.
+func waitStreamsOpen(ctx context.Context, e *Env, n int) bool {
+	deadline := time.Now().Add(e.Cfg.FaultPhase)
+	for {
+		mctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		samples, err := e.Fleet.Client.MetricsCtx(mctx)
+		cancel()
+		if err == nil && sampleValue(samples, "vbs_transport_streams_open") >= float64(n) {
+			return true
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return false
+		}
+		Sleep(ctx, 100*time.Millisecond)
+	}
 }
 
 func runDiskFull(ctx context.Context, e *Env) error {

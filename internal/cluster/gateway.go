@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/repo"
 	"repro/internal/server"
+	"repro/internal/transport"
 )
 
 // Options tunes a Gateway.
@@ -55,6 +56,10 @@ type Options struct {
 	// 0 selects 60s, negative disables the rebalancer (membership
 	// changes still kick a pass when enabled).
 	RebalanceInterval time.Duration
+	// DisableStreams turns the persistent per-node frame streams off:
+	// replication, repair/rebalance copies and batch fan-out all fall
+	// back to per-request HTTP.
+	DisableStreams bool
 }
 
 // gwTask maps a gateway task id to the node-local task it proxies.
@@ -73,16 +78,18 @@ type gwTask struct {
 type Gateway struct {
 	// ring is swapped copy-on-write on membership changes: requests
 	// load the pointer once and route on an immutable snapshot.
-	ring     atomic.Pointer[Ring]
-	reg      *Registry
-	reb      *Rebalancer
-	jobs     *jobs.Table
-	metrics  *metrics.Registry
-	opLat    *metrics.HistogramVec
-	replicas int
-	hop      time.Duration
-	maxBody  int64
-	start    time.Time
+	ring      atomic.Pointer[Ring]
+	reg       *Registry
+	reb       *Rebalancer
+	jobs      *jobs.Table
+	metrics   *metrics.Registry
+	opLat     *metrics.HistogramVec
+	streams   *streamPool
+	transport *transport.Metrics
+	replicas  int
+	hop       time.Duration
+	maxBody   int64
+	start     time.Time
 
 	retryAttempts int
 	retryBase     time.Duration
@@ -168,6 +175,7 @@ func New(nodes []string, opts Options) (*Gateway, error) {
 	g.jobs = jobs.NewTable()
 	g.defineJobs()
 	g.metrics = newGatewayMetrics(g)
+	g.streams = newStreamPool(!opts.DisableStreams, g.transport)
 	return g, nil
 }
 
@@ -204,6 +212,7 @@ func (g *Gateway) Stop() {
 	cancel()
 	g.reg.Stop()
 	g.repairs.Wait()
+	g.streams.closeAll()
 }
 
 // Handler returns the gateway's HTTP routes — the same surface as a
@@ -211,6 +220,7 @@ func (g *Gateway) Stop() {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /tasks", g.handleLoad)
+	mux.HandleFunc("POST /tasks:batch", g.handleBatch)
 	mux.HandleFunc("GET /tasks", g.handleListTasks)
 	mux.HandleFunc("DELETE /tasks/{id}", g.handleUnload)
 	mux.HandleFunc("POST /tasks/{id}/relocate", g.handleRelocate)
@@ -445,23 +455,48 @@ func localFabric(topo []nodeFabrics, global int) (string, int, bool) {
 
 // ── blob + task routing ────────────────────────────────────────────
 
-// replicate writes a container through to every owner except the one
-// that already holds it, in parallel. Failures are counted, not
+// replicate copies a container to every owner except the one that
+// already holds it. With streams up the copies are *pipelined*: each
+// target's blob is enqueued on its persistent stream and the caller
+// returns without waiting — the receiver's ack fires the counters,
+// and a reconnect retransmits anything unacked, so the copy converges
+// even across a node crash. Targets without a live stream fall back
+// to the old write-through HTTP scatter. Failures are counted, not
 // fatal: a missed replica is healed by read-repair later.
+//
+// Force: replication carries the same user intent as the write it
+// fans out — it must land even on a node still holding a tombstone
+// from an earlier delete of the same bytes.
 func (g *Gateway) replicate(ctx context.Context, data []byte, owners []string, holder string) {
-	var targets []string
+	var httpTargets []string
+	var msg []byte
 	for _, n := range owners {
-		if n != holder && g.reg.Alive(n) {
-			targets = append(targets, n)
+		if n == holder || !g.reg.Alive(n) {
+			continue
+		}
+		st := g.streams.ready(n)
+		if st == nil {
+			httpTargets = append(httpTargets, n)
+			continue
+		}
+		if msg == nil {
+			msg = objPutMsg(data, true)
+		}
+		err := st.Send(ctx, msg, true, func(err error) {
+			if err != nil {
+				g.replicationFails.Add(1)
+			} else {
+				g.replicated.Add(1)
+			}
+		})
+		if err != nil {
+			httpTargets = append(httpTargets, n)
 		}
 	}
-	if len(targets) == 0 {
+	if len(httpTargets) == 0 {
 		return
 	}
-	// Force: replication carries the same user intent as the write it
-	// fans out — it must land even on a node still holding a tombstone
-	// from an earlier delete of the same bytes.
-	res := scatter(ctx, g, targets, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
+	res := scatter(ctx, g, httpTargets, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
 		return c.PutVBSForce(ctx, data)
 	})
 	for _, r := range res {
@@ -1051,22 +1086,30 @@ func (g *Gateway) repairOwners(d repo.Digest, data []byte, from string) {
 	}
 	// Deliberately NOT force: a tombstone written between the HEADs and
 	// this put must win (the 410 reply then finishes the delete's
-	// propagation instead).
-	res := scatter(context.Background(), g, missing, func(ctx context.Context, c *server.Client) (server.PutVBSResponse, error) {
-		return c.PutVBS(ctx, data)
-	})
-	healed, goneOnPut := false, false
-	for _, r := range res {
-		switch {
-		case r.err == nil:
-			g.replicated.Add(1)
-			healed = true
-		case server.StatusCode(r.err) == http.StatusGone:
-			goneOnPut = true
-		default:
-			g.replicationFails.Add(1)
-		}
+	// propagation instead). Copies ride the stream when live — one
+	// synchronous RPC per node so the 410 is still observable.
+	var healed, goneOnPut bool
+	var wg sync.WaitGroup
+	var resMu sync.Mutex
+	for _, n := range missing {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			_, err := g.putBlobNode(context.Background(), n, data, false)
+			resMu.Lock()
+			defer resMu.Unlock()
+			switch {
+			case err == nil:
+				g.replicated.Add(1)
+				healed = true
+			case server.StatusCode(err) == http.StatusGone:
+				goneOnPut = true
+			default:
+				g.replicationFails.Add(1)
+			}
+		}(n)
 	}
+	wg.Wait()
 	if goneOnPut {
 		g.propagateDelete(context.Background(), d)
 	}

@@ -165,6 +165,7 @@ func (g *Gateway) RemoveNode(name string) error {
 		return memberErrf(http.StatusConflict, "cannot remove the last active node")
 	}
 	g.reg.Remove(name)
+	g.streams.drop(name)
 	delete(g.draining, name)
 	g.mu.Lock()
 	delete(g.fabCounts, name)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 // newGatewayMetrics builds the gateway's Prometheus registry. Every
@@ -18,6 +19,11 @@ func newGatewayMetrics(g *Gateway) *metrics.Registry {
 	g.opLat = reg.HistogramVec("vbs_gateway_op_duration_seconds",
 		"End-to-end gateway latency per operation, including node hops.",
 		nil, "op")
+	// Instantiate the known op labels so the family is scrapeable
+	// from boot, before any traffic arrives.
+	for _, op := range []string{"load", "vbs_get", "batch"} {
+		g.opLat.With(op)
+	}
 
 	// Traffic counters.
 	reg.CounterFunc("vbs_gateway_proxied_total",
@@ -109,6 +115,8 @@ func newGatewayMetrics(g *Gateway) *metrics.Registry {
 			defer rb.mu.Unlock()
 			return float64(rb.lastPassMS)
 		})
+
+	g.transport = transport.NewMetrics(reg)
 
 	jobs.RegisterMetrics(reg, g.jobs)
 	return reg

@@ -406,18 +406,13 @@ func (rb *Rebalancer) copyTo(ctx context.Context, d repo.Digest, to string, hold
 		if err != nil {
 			continue
 		}
-		c := g.reg.Client(to)
-		if c == nil {
+		if g.reg.Client(to) == nil {
 			return false
 		}
 		// Deliberately NOT force: a delete that lands mid-copy wins —
-		// the 410 turns this copy into tombstone propagation.
-		var resp server.PutVBSResponse
-		err = g.retryTransport(ctx, to, func(ctx context.Context) error {
-			var perr error
-			resp, perr = c.PutVBS(ctx, data)
-			return perr
-		})
+		// the 410 turns this copy into tombstone propagation. The copy
+		// rides the destination's stream when live (HTTP otherwise).
+		resp, err := g.putBlobNode(ctx, to, data, false)
 		switch {
 		case server.StatusCode(err) == http.StatusGone:
 			*gone = true

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/server/store"
+)
+
+// maxBatchOps bounds one POST /tasks:batch request. The cap exists so
+// a single batch cannot monopolize the daemon for unbounded time; the
+// body-size limit already bounds total payload bytes.
+const maxBatchOps = 1024
+
+// handleBatch executes many task operations in one round trip —
+// the amortized form of POST /tasks for scenario loads, and the
+// target the gateway fans sub-batches at over streams.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("batch", time.Now())
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	resp, status, err := s.execBatch(req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execBatch runs a batch sequentially, one result per op in order.
+// Entry failures land in their result; only a malformed batch as a
+// whole returns an error.
+func (s *Server) execBatch(req BatchRequest) (BatchResponse, int, error) {
+	if len(req.Ops) == 0 {
+		return BatchResponse{}, http.StatusBadRequest, errors.New("empty batch")
+	}
+	if len(req.Ops) > maxBatchOps {
+		return BatchResponse{}, http.StatusBadRequest,
+			fmt.Errorf("batch of %d ops exceeds limit %d", len(req.Ops), maxBatchOps)
+	}
+	s.transport.ObserveBatch(len(req.Ops))
+	out := BatchResponse{Results: make([]BatchResult, len(req.Ops))}
+	for i, op := range req.Ops {
+		out.Results[i] = s.execOne(op)
+	}
+	return out, 0, nil
+}
+
+// execOne dispatches a single batch entry through the same helpers
+// the per-request handlers use, so statuses and error messages match
+// the unbatched API exactly. Each op lands on the op-latency
+// histogram under its own name — batching changes the transport, not
+// the accounting.
+func (s *Server) execOne(op BatchOp) BatchResult {
+	kind := op.Op
+	if kind == "" && op.VBS != "" {
+		kind = "load"
+	}
+	begin := time.Now()
+	switch kind {
+	case "load":
+		defer s.observe("load", begin)
+		data, err := base64.StdEncoding.DecodeString(op.VBS)
+		if err != nil {
+			return BatchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("bad vbs base64: %v", err)}
+		}
+		lr, status, lerr := s.loadOne(begin, data, LoadRequest{
+			Fabric: op.Fabric, X: op.X, Y: op.Y, Policy: op.Policy,
+		})
+		if lerr != nil {
+			return BatchResult{Status: status, Error: lerr.Error()}
+		}
+		return BatchResult{Status: http.StatusCreated, Load: &lr}
+	case "get":
+		defer s.observe("vbs_get", begin)
+		d, err := store.ParseDigest(op.Digest)
+		if err != nil {
+			return BatchResult{Status: http.StatusBadRequest, Error: err.Error()}
+		}
+		data, status, gerr := s.getVBSData(d)
+		if gerr != nil {
+			return BatchResult{Status: status, Error: gerr.Error()}
+		}
+		return BatchResult{Status: http.StatusOK, VBS: base64.StdEncoding.EncodeToString(data)}
+	case "unload":
+		defer s.observe("unload", begin)
+		if status, uerr := s.unloadTask(op.ID); uerr != nil {
+			return BatchResult{Status: status, Error: uerr.Error()}
+		}
+		return BatchResult{Status: http.StatusNoContent}
+	default:
+		return BatchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("unknown batch op %q", op.Op)}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 // Client is a thin Go client for the vbsd HTTP API. Every method has
@@ -101,6 +102,29 @@ func readAPIError(resp *http.Response) error {
 		msg = er.Error
 	}
 	return &apiError{Status: resp.StatusCode, Message: msg}
+}
+
+// DecodeStreamResult maps a transport result envelope onto the same
+// error surface as HTTP replies: a 2xx decodes the body into out,
+// anything else becomes the error StatusCode and ErrorMessage see —
+// stream callers and HTTP callers share one error vocabulary.
+func DecodeStreamResult(resp []byte, out any) error {
+	status, body, err := transport.DecodeResult(resp)
+	if err != nil {
+		return err
+	}
+	if status >= 300 {
+		var er errorResponse
+		msg := http.StatusText(status)
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &apiError{Status: status, Message: msg}
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
 }
 
 // Load submits a VBS container for placement. fabric/x/y follow
@@ -238,6 +262,34 @@ func (c *Client) putVBS(ctx context.Context, container []byte, force bool) (PutV
 	err := c.do(ctx, http.MethodPost, "/vbs",
 		PutVBSRequest{VBS: base64.StdEncoding.EncodeToString(container), Force: force}, &out)
 	return out, err
+}
+
+// BatchCtx submits a mixed batch of task operations in one round trip
+// (POST /tasks:batch). Per-op outcomes come back in request order;
+// the call errs only when the batch as a whole is refused.
+func (c *Client) BatchCtx(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/tasks:batch", req, &out)
+	return out, err
+}
+
+// BatchLoadOp builds a "load" batch entry from raw container bytes.
+func BatchLoadOp(container []byte) BatchOp {
+	return BatchOp{Op: "load", VBS: base64.StdEncoding.EncodeToString(container)}
+}
+
+// BatchError lifts a non-2xx per-op batch result into the same
+// *apiError the unbatched call would have returned, so StatusCode and
+// ErrorMessage work identically on both paths. Nil for 2xx.
+func BatchError(r BatchResult) error {
+	if r.Status >= 200 && r.Status < 300 {
+		return nil
+	}
+	msg := r.Error
+	if msg == "" {
+		msg = http.StatusText(r.Status)
+	}
+	return &apiError{Status: r.Status, Message: msg}
 }
 
 // ListVBS lists every stored blob across the RAM and disk tiers.

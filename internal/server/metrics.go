@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 // newServerMetrics builds the node's Prometheus registry (served at
@@ -19,6 +20,12 @@ func newServerMetrics(s *Server) *metrics.Registry {
 	s.opLat = reg.HistogramVec("vbs_server_op_duration_seconds",
 		"Latency of daemon operations by op (load includes store admission, decode and placement).",
 		nil, "op")
+	// Instantiate the known op labels up front so the family is
+	// scrapeable from boot: an idle (or freshly restarted) node must
+	// not look like one with a missing histogram.
+	for _, op := range []string{"load", "vbs_get", "unload", "vbs_put", "vbs_delete", "relocate", "batch"} {
+		s.opLat.With(op)
+	}
 	s.decodeLat = reg.Histogram("vbs_decode_duration_seconds",
 		"Latency of VBS de-virtualization (cache misses only).", nil)
 
@@ -92,6 +99,8 @@ func newServerMetrics(s *Server) *metrics.Registry {
 			fabTasks.With(strconv.Itoa(i)).Set(float64(st.Tasks))
 		}
 	})
+
+	s.transport = transport.NewMetrics(reg)
 
 	jobs.RegisterMetrics(reg, s.jobs)
 	return reg

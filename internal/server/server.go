@@ -57,6 +57,7 @@ import (
 	"repro/internal/repo"
 	"repro/internal/sched"
 	"repro/internal/server/store"
+	"repro/internal/transport"
 )
 
 // Options tunes a Server.
@@ -93,6 +94,9 @@ type Options struct {
 	// Only meaningful with a data dir: tombstones live in the disk
 	// tier.
 	TombstoneTTL time.Duration
+	// DisableStreams leaves the GET /stream upgrade endpoint off the
+	// mux, forcing intra-cluster peers back onto per-request HTTP.
+	DisableStreams bool
 }
 
 // DefaultMaxBodyBytes is the request-body bound applied when
@@ -111,6 +115,7 @@ type Server struct {
 	policy  sched.Policy
 	maxBody int64
 	chaos   bool
+	streams bool
 	tombTTL time.Duration
 	start   time.Time
 
@@ -135,6 +140,7 @@ type Server struct {
 	metrics   *metrics.Registry
 	opLat     *metrics.HistogramVec
 	decodeLat *metrics.Histogram
+	transport *transport.Metrics
 }
 
 // task maps a server task id to its fabric-level identity.
@@ -176,6 +182,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 		policy:  pol,
 		maxBody: maxBody,
 		chaos:   opts.EnableChaos,
+		streams: !opts.DisableStreams,
 		tombTTL: opts.TombstoneTTL,
 		start:   time.Now(),
 		tasks:   make(map[int64]*task),
@@ -191,6 +198,7 @@ func New(ctrls []*controller.Controller, opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /tasks", s.handleLoad)
+	mux.HandleFunc("POST /tasks:batch", s.handleBatch)
 	mux.HandleFunc("GET /tasks", s.handleListTasks)
 	mux.HandleFunc("DELETE /tasks/{id}", s.handleUnload)
 	mux.HandleFunc("POST /tasks/{id}/relocate", s.handleRelocate)
@@ -210,6 +218,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.streams {
+		mux.HandleFunc("GET "+transport.DefaultPath, s.handleStream)
+	}
 	if s.chaos {
 		mux.HandleFunc("POST /chaos/faults", s.handleSetFaults)
 		mux.HandleFunc("GET /chaos/faults", s.handleGetFaults)
@@ -286,16 +297,22 @@ func DecodeJSONBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v an
 // refusal is 410 Gone (the digest was deleted; automated copiers must
 // not resurrect it) and everything else is a malformed container,
 // 400.
-func writePutError(w http.ResponseWriter, err error) {
+// putError maps a store admission failure to an HTTP status and
+// message — shared by the JSON handlers and the stream/batch paths so
+// every transport speaks the same error vocabulary.
+func putError(err error) (int, string) {
 	if errors.Is(err, repo.ErrTombstoned) {
-		writeError(w, http.StatusGone, "vbs deleted: %v", err)
-		return
+		return http.StatusGone, fmt.Sprintf("vbs deleted: %v", err)
 	}
 	if errors.Is(err, store.ErrDisk) {
-		writeError(w, http.StatusInternalServerError, "cannot persist vbs: %v", err)
-		return
+		return http.StatusInternalServerError, fmt.Sprintf("cannot persist vbs: %v", err)
 	}
-	writeError(w, http.StatusBadRequest, "bad vbs container: %v", err)
+	return http.StatusBadRequest, fmt.Sprintf("bad vbs container: %v", err)
+}
+
+func writePutError(w http.ResponseWriter, err error) {
+	status, msg := putError(err)
+	writeError(w, status, "%s", msg)
 }
 
 // observe records one operation's latency on the op histogram —
@@ -336,14 +353,27 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if (req.X == nil) != (req.Y == nil) {
-		writeError(w, http.StatusBadRequest, "x and y must be given together")
-		return
-	}
 	data, err := base64.StdEncoding.DecodeString(req.VBS)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
 		return
+	}
+	resp, status, lerr := s.loadOne(begin, data, req)
+	if lerr != nil {
+		writeError(w, status, "%v", lerr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// loadOne runs one load end to end — admission, decode, placement,
+// registration — and returns the response or an HTTP status plus
+// error. begin is when the request entered the daemon so LoadMS spans
+// the whole service time; batch ops pass their own per-op clock.
+func (s *Server) loadOne(begin time.Time, data []byte, req LoadRequest) (LoadResponse, int, error) {
+	var zero LoadResponse
+	if (req.X == nil) != (req.Y == nil) {
+		return zero, http.StatusBadRequest, errors.New("x and y must be given together")
 	}
 	// From before admission until the task is registered (or this
 	// load gives up), hold a pending reference so a concurrent
@@ -366,32 +396,28 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// A load is explicit user intent to run these bytes: it overrides
 	// any delete tombstone left by an earlier DELETE /vbs.
 	if err := s.store.ClearTombstone(digest); err != nil {
-		writeError(w, http.StatusInternalServerError, "cannot clear tombstone: %v", err)
-		return
+		return zero, http.StatusInternalServerError, fmt.Errorf("cannot clear tombstone: %w", err)
 	}
 	ent, _, err := s.store.Put(data)
 	if err != nil {
-		writePutError(w, err)
-		return
+		status, msg := putError(err)
+		return zero, status, errors.New(msg)
 	}
 	dec, cached, err := s.getOrDecode(ent)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "decode failed: %v", err)
-		return
+		return zero, http.StatusUnprocessableEntity, fmt.Errorf("decode failed: %w", err)
 	}
 
 	pol := s.policy
 	if req.Policy != "" {
 		if pol, err = sched.New(req.Policy); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return zero, http.StatusBadRequest, err
 		}
 	}
 	sreq := sched.Request{W: ent.VBS.TaskW, H: ent.VBS.TaskH}
 	candidates, err := s.candidateFabrics(req.Fabric, pol, sreq)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return zero, http.StatusBadRequest, err
 	}
 	// noSlot collects, in policy-preference order, the fabrics whose
 	// failure was lack of a conflict-free slot — the only failure mode
@@ -434,8 +460,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			s.compactions.Add(1)
 			s.compactMoved.Add(uint64(moved))
 			if cerr != nil {
-				writeError(w, http.StatusInternalServerError, "compaction failed: %v", cerr)
-				return
+				return zero, http.StatusInternalServerError, fmt.Errorf("compaction failed: %w", cerr)
 			}
 			if placed, onIndex, lastErr = tryPlace(); placed != nil {
 				compacted = true
@@ -444,8 +469,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if placed == nil {
-		writeError(w, http.StatusConflict, "no fabric accepted the task: %v", lastErr)
-		return
+		return zero, http.StatusConflict, fmt.Errorf("no fabric accepted the task: %w", lastErr)
 	}
 
 	s.mu.Lock()
@@ -464,7 +488,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	writeJSON(w, http.StatusCreated, LoadResponse{
+	return LoadResponse{
 		ID:               id,
 		Fabric:           onIndex,
 		X:                placed.X,
@@ -476,7 +500,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		CompressionRatio: ent.VBS.CompressionRatio(),
 		LoadMS:           float64(elapsed) / float64(time.Millisecond),
 		Compacted:        compacted,
-	})
+	}, 0, nil
 }
 
 // candidateFabrics returns fabric indices in placement-preference
@@ -537,19 +561,29 @@ func (s *Server) taskFromPath(w http.ResponseWriter, r *http.Request) (*task, bo
 
 func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	defer s.observe("unload", time.Now())
-	t, ok := s.taskFromPath(w, r)
-	if !ok {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad task id %q", r.PathValue("id"))
 		return
 	}
+	if status, uerr := s.unloadTask(id); uerr != nil {
+		writeError(w, status, "%v", uerr)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// unloadTask removes one task, returning a non-zero HTTP status plus
+// error on failure. Lookup and delete run under one lock so two
+// concurrent unloads of the same id cannot both reach the controller.
+func (s *Server) unloadTask(id int64) (int, error) {
 	s.mu.Lock()
-	// Re-check under the lock so two concurrent DELETEs of the same id
-	// cannot both reach the controller.
-	if _, live := s.tasks[t.id]; !live {
+	t, live := s.tasks[id]
+	if !live {
 		s.mu.Unlock()
-		writeError(w, http.StatusNotFound, "task %d not loaded", t.id)
-		return
+		return http.StatusNotFound, fmt.Errorf("task %d not loaded", id)
 	}
-	delete(s.tasks, t.id)
+	delete(s.tasks, id)
 	s.mu.Unlock()
 	if err := s.ctrls[t.fabric].Unload(t.fid); err != nil {
 		// Resurrect the API entry only while the controller still holds
@@ -563,10 +597,9 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 			s.tasks[t.id] = t
 			s.mu.Unlock()
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+		return http.StatusInternalServerError, err
 	}
-	w.WriteHeader(http.StatusNoContent)
+	return 0, nil
 }
 
 func (s *Server) handleRelocate(w http.ResponseWriter, r *http.Request) {
@@ -685,25 +718,37 @@ func (s *Server) handlePutVBS(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad vbs base64: %v", err)
 		return
 	}
-	if req.Force {
+	resp, status, perr := s.putBlob(data, req.Force)
+	if perr != nil {
+		writeError(w, status, "%v", perr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// putBlob admits a container without placing a task — the node half of
+// replication, shared by POST /vbs, the stream ObjPut handlers and
+// batch ops.
+func (s *Server) putBlob(data []byte, force bool) (PutVBSResponse, int, error) {
+	var zero PutVBSResponse
+	if force {
 		// Explicit user intent ("store this again") lifts a delete
 		// tombstone; automated copiers (read-repair, rebalance) omit
 		// Force and get refused with 410 instead.
 		if err := s.store.ClearTombstone(store.DigestOf(data)); err != nil {
-			writeError(w, http.StatusInternalServerError, "cannot clear tombstone: %v", err)
-			return
+			return zero, http.StatusInternalServerError, fmt.Errorf("cannot clear tombstone: %w", err)
 		}
 	}
 	ent, existed, err := s.store.Put(data)
 	if err != nil {
-		writePutError(w, err)
-		return
+		status, msg := putError(err)
+		return zero, status, errors.New(msg)
 	}
-	writeJSON(w, http.StatusCreated, PutVBSResponse{
+	return PutVBSResponse{
 		Digest:  ent.Digest.String(),
 		Bytes:   ent.SizeBytes(),
 		Existed: existed,
-	})
+	}, 0, nil
 }
 
 // handleListVBS lists every stored blob across both tiers.
@@ -741,6 +786,19 @@ func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	data, status, gerr := s.getVBSData(d)
+	if gerr != nil {
+		writeError(w, status, "%v", gerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// getVBSData fetches a stored container, returning a non-zero HTTP
+// status plus error on failure.
+func (s *Server) getVBSData(d store.Digest) ([]byte, int, error) {
 	data, err := s.store.GetData(d)
 	switch {
 	case errors.Is(err, store.ErrNotFound):
@@ -748,20 +806,15 @@ func (s *Server) handleGetVBS(w http.ResponseWriter, r *http.Request) {
 			// Deleted, and the delete is still being remembered: 410
 			// tells gateways "stay dead" where 404 would mean "repair
 			// me from another replica".
-			writeError(w, http.StatusGone, "vbs %s deleted", d.Short())
-			return
+			return nil, http.StatusGone, fmt.Errorf("vbs %s deleted", d.Short())
 		}
-		writeError(w, http.StatusNotFound, "vbs %s not stored", d.Short())
-		return
+		return nil, http.StatusNotFound, fmt.Errorf("vbs %s not stored", d.Short())
 	case err != nil:
 		// Disk-tier verification failure: the blob was quarantined and
 		// must not be served.
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+		return nil, http.StatusInternalServerError, err
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	_, _ = w.Write(data)
+	return data, 0, nil
 }
 
 // handleDeleteVBS removes a blob from both tiers, refusing while any

@@ -55,6 +55,49 @@ type LoadResponse struct {
 	Compacted bool `json:"compacted,omitempty"`
 }
 
+// BatchOp is one operation inside POST /tasks:batch. Exactly one op
+// kind applies per entry; unknown kinds fail that entry, not the
+// batch.
+type BatchOp struct {
+	// Op selects the operation: "load", "get" or "unload". Empty with
+	// a VBS payload defaults to "load".
+	Op string `json:"op,omitempty"`
+	// Load fields — same semantics as LoadRequest.
+	VBS    string `json:"vbs,omitempty"`
+	Fabric *int   `json:"fabric,omitempty"`
+	X      *int   `json:"x,omitempty"`
+	Y      *int   `json:"y,omitempty"`
+	Policy string `json:"policy,omitempty"`
+	// Digest selects the blob for "get" (hex).
+	Digest string `json:"digest,omitempty"`
+	// ID selects the task for "unload".
+	ID int64 `json:"id,omitempty"`
+}
+
+// BatchRequest is the body of POST /tasks:batch: many task operations
+// in one round trip. Ops execute sequentially in order; each entry
+// succeeds or fails on its own.
+type BatchRequest struct {
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchResult is the outcome of one batch op, in request order.
+// Status carries the HTTP code the op would have produced as its own
+// request; Error is set on non-2xx.
+type BatchResult struct {
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Load is the placement result of a successful "load".
+	Load *LoadResponse `json:"load,omitempty"`
+	// VBS is the base64 container of a successful "get".
+	VBS string `json:"vbs,omitempty"`
+}
+
+// BatchResponse is the body of a 200 from POST /tasks:batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
 // RelocateRequest is the body of POST /tasks/{id}/relocate. X and Y
 // are pointers so a missing coordinate is distinguishable from an
 // explicit 0: both are required, and the daemon rejects a partial or

@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds the decoder arbitrary bytes: truncations, bad
+// magic, bad CRCs, hostile lengths and corrupt flate streams must all
+// come back as errors, never panics, and a frame that does decode
+// must re-encode to something that decodes identically.
+func FuzzReadFrame(f *testing.F) {
+	seeds := []Frame{
+		{Type: FrameData, Seq: 1, Payload: []byte("hello")},
+		{Type: FrameData, Flags: FlagRaw, Seq: 2, Payload: bytes.Repeat([]byte("vbs"), 100)},
+		{Type: FrameAck, Seq: 99},
+		{Type: FrameReq, Seq: 7, Payload: EncodeMsg(MsgBatch, []byte(`{"ops":[]}`))},
+		{Type: FrameResp, Seq: 7, Payload: EncodeResult(200, []byte("{}"))},
+	}
+	for _, s := range seeds {
+		for _, compress := range []bool{false, true} {
+			var buf bytes.Buffer
+			if _, _, err := WriteFrame(&buf, s, compress); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+		}
+	}
+	// Hostile shapes: truncated header, bad magic, huge claimed length.
+	f.Add([]byte{0x56, 0x42, 0x53})
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add(append([]byte{0x56, 0x42, 0x53, 0x46, 1, 1, 0, 0}, bytes.Repeat([]byte{0xff}, 16)...))
+
+	const fuzzMax = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, n, err := ReadFrame(bytes.NewReader(data), fuzzMax)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A decoded frame must survive a re-encode round trip.
+		var buf bytes.Buffer
+		if _, _, werr := WriteFrame(&buf, got, false); werr != nil {
+			t.Fatalf("re-encode of decoded frame: %v", werr)
+		}
+		again, _, rerr := ReadFrame(&buf, fuzzMax)
+		if rerr != nil {
+			t.Fatalf("re-decode: %v", rerr)
+		}
+		if again.Type != got.Type || again.Seq != got.Seq || !bytes.Equal(again.Payload, got.Payload) {
+			t.Fatal("re-encode round trip drifted")
+		}
+	})
+}
+
+// FuzzDecodeEnvelopes throws arbitrary bytes at the message-layer
+// decoders.
+func FuzzDecodeEnvelopes(f *testing.F) {
+	var d [DigestLen]byte
+	f.Add(EncodeObjPut(d, true, []byte("blob")))
+	f.Add(EncodeResult(410, []byte("gone")))
+	f.Add([]byte{})
+	f.Add([]byte{MsgObjPut})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _, _ = DecodeObjPut(data)
+		_, _, _ = DecodeResult(data)
+		_ = MsgKind(data)
+		_ = MsgBody(data)
+	})
+}

@@ -3,6 +3,11 @@
 # real vbsd daemon and refresh the committed BENCH_serve.json
 # baseline (the serving-side counterpart of BENCH_decode.json).
 #
+# Two runs, same daemon, same 8-worker 20:60:20 mix: one request per
+# round trip ("unbatched") and 16 tasks per POST /tasks:batch
+# ("batched"). The baseline records both side by side so the batching
+# win — and any regression of the unbatched path — shows up in review.
+#
 # Usage: ./scripts/bench_serve.sh [duration]   (default 5s)
 set -euo pipefail
 
@@ -27,14 +32,25 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 
-echo "== drive $duration of mixed load" >&2
-# Two steps (not a pipeline) so a failing run cannot overwrite the
-# baseline with a partial document. -scrape adds the daemon's own
-# /metrics histogram percentiles (server_side block) to the baseline,
-# so client- and server-observed latency diverge visibly in review.
+# Staged in $work (not a pipeline into the baseline) so a failing run
+# cannot overwrite BENCH_serve.json with a partial document. -scrape
+# adds the daemon's own /metrics histogram percentiles (server_side
+# block) to each run, so client- and server-observed latency diverge
+# visibly in review.
+echo "== drive $duration of mixed load, unbatched" >&2
 "$work/bin/vbsload" -url "http://$addr" -scrape "http://$addr" \
   -duration "$duration" -workers 8 \
-  -tasks 8 -mix 20:60:20 -json >"$work/bench_serve.json"
-mv "$work/bench_serve.json" BENCH_serve.json
+  -tasks 8 -mix 20:60:20 -json >"$work/unbatched.json"
+
+echo "== drive $duration of mixed load, batch 16" >&2
+"$work/bin/vbsload" -url "http://$addr" -scrape "http://$addr" \
+  -duration "$duration" -workers 8 -batch 16 \
+  -tasks 8 -mix 20:60:20 -json >"$work/batched.json"
+
+# host_cpus pins the machine class: absolute req/s only compares
+# across refreshes taken on the same core count (the batched:unbatched
+# ratio is the machine-independent number).
+printf '{\n"host_cpus": %s,\n"unbatched": %s,\n"batched": %s\n}\n' \
+  "$(nproc)" "$(cat "$work/unbatched.json")" "$(cat "$work/batched.json")" >BENCH_serve.json
 echo "== wrote BENCH_serve.json" >&2
 cat BENCH_serve.json

@@ -13,7 +13,8 @@
 #   6. scrape /metrics on the gateway and a node (required families
 #      present) and run a reconcile job end-to-end via POST /jobs
 #   7. drive a concurrent load/get/unload mix at the gateway with
-#      vbsload under a strict error budget
+#      vbsload under a strict error budget, then the same mix batched
+#      over POST /tasks:batch at a zero error budget
 #   8. join a fresh fourth node via `vbsgw node add` while a second
 #      vbsload mix runs with -max-error-rate 0: elastic membership
 #      must be invisible to clients
@@ -126,14 +127,16 @@ esac
 echo "== /metrics exposition on the gateway and a node"
 gw_metrics=$(curl -fsS "http://$gwaddr/metrics")
 for fam in vbs_gateway_op_duration_seconds_bucket vbs_cluster_nodes \
-           vbs_cluster_alive_nodes vbs_rebalance_passes_total vbs_jobs_running; do
+           vbs_cluster_alive_nodes vbs_rebalance_passes_total vbs_jobs_running \
+           vbs_transport_streams_open vbs_transport_frames_sent_total; do
   case "$gw_metrics" in
     *"$fam"*) ;;
     *) echo "FAIL: gateway /metrics missing family $fam" >&2; exit 1 ;;
   esac
 done
 node_metrics=$(curl -fsS "http://${node_addrs[0]}/metrics")
-for fam in vbs_server_op_duration_seconds_bucket vbs_cache_hits_total vbs_jobs_running; do
+for fam in vbs_server_op_duration_seconds_bucket vbs_cache_hits_total vbs_jobs_running \
+           vbs_transport_streams_open vbs_transport_frames_received_total; do
   case "$node_metrics" in
     *"$fam"*) ;;
     *) echo "FAIL: node /metrics missing family $fam" >&2; exit 1 ;;
@@ -166,6 +169,10 @@ fi
 echo "== vbsload mix against the cluster, strict error budget"
 "$work/bin/vbsload" -url "http://$gwaddr" -ops 60 -workers 4 -tasks 2 \
   -mix 30:50:20 -max-error-rate 0.05
+
+echo "== batched vbsload mix over POST /tasks:batch (zero error budget)"
+"$work/bin/vbsload" -url "http://$gwaddr" -ops 120 -workers 4 -batch 8 \
+  -tasks 2 -mix 30:50:20 -max-error-rate 0
 
 echo "== join a fresh node under live vbsload (zero error budget)"
 join_addr=127.0.0.1:8964
