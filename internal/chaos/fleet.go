@@ -186,8 +186,40 @@ type localNode struct {
 	// Hijacked stream connections. http.Server.Close does not touch
 	// them (they left its accounting at upgrade time), so a faithful
 	// kill -9 must sever them by hand or the "dead" node would keep
-	// serving its transport streams.
+	// serving its transport streams. Entries leave when the conn
+	// closes (trackedConn) so streams that end naturally during a long
+	// soak do not accumulate.
 	hijacked map[net.Conn]struct{}
+}
+
+// trackedListener wraps every accepted conn so closing it — whether
+// by the stream server after a natural disconnect or by Kill — drops
+// it from the node's hijacked map. ConnState and the handler's Hijack
+// both see the wrapper (http.Server passes the accepted conn through),
+// so the map key and the conn the transport closes are the same value.
+type trackedListener struct {
+	net.Listener
+	node *localNode
+}
+
+func (l trackedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &trackedConn{Conn: c, node: l.node}, nil
+}
+
+type trackedConn struct {
+	net.Conn
+	node *localNode
+}
+
+func (c *trackedConn) Close() error {
+	c.node.mu.Lock()
+	delete(c.node.hijacked, c)
+	c.node.mu.Unlock()
+	return c.Conn.Close()
 }
 
 func newLocalNode(ctx context.Context, name, dataDir string) (*localNode, error) {
@@ -238,7 +270,7 @@ func (n *localNode) start(ln net.Listener) error {
 			n.mu.Unlock()
 		},
 	}
-	go func() { _ = hs.Serve(ln) }()
+	go func() { _ = hs.Serve(trackedListener{Listener: ln, node: n}) }()
 	n.mu.Lock()
 	n.hs, n.alive = hs, true
 	n.mu.Unlock()

@@ -26,6 +26,13 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	// Enforce the node-side cap here, before partitioning: a sub-batch
+	// can only be as large as the whole request, so no fan-out can trip
+	// a node's wholesale 400 that would fail sibling ops too.
+	if len(req.Ops) > server.MaxBatchOps {
+		writeError(w, http.StatusBadRequest, "batch of %d ops exceeds limit %d", len(req.Ops), server.MaxBatchOps)
+		return
+	}
 	g.transport.ObserveBatch(len(req.Ops))
 	g.proxied.Add(1)
 

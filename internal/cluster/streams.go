@@ -139,9 +139,10 @@ func (g *Gateway) putBlobNode(ctx context.Context, node string, data []byte, for
 }
 
 // nodeBatch runs one sub-batch on a node — one RPC over its stream
-// when live, else one HTTP POST. A disconnect with the call in flight
-// is surfaced, never replayed over HTTP: the node may have executed
-// the batch, and loads are not idempotent.
+// when live, else one HTTP POST. A call that reached the wire without
+// a response (disconnect, or the hop deadline expiring mid-call) is
+// surfaced, never replayed over HTTP: the node may have executed the
+// batch, and loads are not idempotent.
 func (g *Gateway) nodeBatch(ctx context.Context, node string, req server.BatchRequest) (server.BatchResponse, error) {
 	var out server.BatchResponse
 	g.proxied.Add(1)
@@ -160,10 +161,11 @@ func (g *Gateway) nodeBatch(ctx context.Context, node string, req server.BatchRe
 		}
 		g.observe(node, cerr)
 		if errors.Is(cerr, transport.ErrDisconnected) {
+			// Written with no response: outcome unknown, retry unsafe.
 			return out, cerr
 		}
-		// The request was never written (pool closing, stream racing
-		// shut): HTTP is safe.
+		// The request was never written (still queued at ctx expiry,
+		// pool closing, stream racing shut): HTTP is safe.
 	}
 	c := g.reg.Client(node)
 	if c == nil {

@@ -10,10 +10,12 @@ import (
 	"repro/internal/server/store"
 )
 
-// maxBatchOps bounds one POST /tasks:batch request. The cap exists so
+// MaxBatchOps bounds one POST /tasks:batch request. The cap exists so
 // a single batch cannot monopolize the daemon for unbounded time; the
-// body-size limit already bounds total payload bytes.
-const maxBatchOps = 1024
+// body-size limit already bounds total payload bytes. The gateway
+// enforces the same cap up front, so a sub-batch it fans out never
+// trips a node-side rejection that would fail sibling ops wholesale.
+const MaxBatchOps = 1024
 
 // handleBatch executes many task operations in one round trip —
 // the amortized form of POST /tasks for scenario loads, and the
@@ -39,9 +41,9 @@ func (s *Server) execBatch(req BatchRequest) (BatchResponse, int, error) {
 	if len(req.Ops) == 0 {
 		return BatchResponse{}, http.StatusBadRequest, errors.New("empty batch")
 	}
-	if len(req.Ops) > maxBatchOps {
+	if len(req.Ops) > MaxBatchOps {
 		return BatchResponse{}, http.StatusBadRequest,
-			fmt.Errorf("batch of %d ops exceeds limit %d", len(req.Ops), maxBatchOps)
+			fmt.Errorf("batch of %d ops exceeds limit %d", len(req.Ops), MaxBatchOps)
 	}
 	s.transport.ObserveBatch(len(req.Ops))
 	out := BatchResponse{Results: make([]BatchResult, len(req.Ops))}

@@ -97,14 +97,19 @@ func (m *Metrics) reconnect() {
 	}
 }
 
-// sent records one written frame: n wire bytes total, of which
-// payload bytes left with (compressed=true) or without flate.
-func (m *Metrics) sent(n int, payload int, compressed bool) {
+// sent records one written frame of n wire bytes total; the payload
+// portion (n minus the header) left with (compressed=true) or without
+// flate, so the flate counter reflects post-compression size.
+func (m *Metrics) sent(n int, compressed bool) {
 	if m == nil {
 		return
 	}
 	m.framesSent.Add(1)
 	m.bytesSent.Add(uint64(n))
+	payload := n - HeaderSize
+	if payload < 0 {
+		payload = 0
+	}
 	if compressed {
 		m.flateSent.Add(uint64(payload))
 	} else {

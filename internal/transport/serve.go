@@ -69,7 +69,7 @@ func Serve(conn net.Conn, h Handlers, cfg Config) error {
 			if err != nil {
 				return false
 			}
-			cfg.Metrics.sent(n, len(f.Payload), compressed)
+			cfg.Metrics.sent(n, compressed)
 			return true
 		}
 		for {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sort"
 	"sync"
@@ -14,11 +15,14 @@ import (
 var (
 	// ErrClosed reports an operation on a closed stream.
 	ErrClosed = errors.New("transport: stream closed")
-	// ErrDisconnected fails an RPC whose connection broke after the
-	// request was written but before the response arrived — the
-	// receiver may or may not have processed it, so the stream must
-	// not blindly retransmit a non-idempotent request.
-	ErrDisconnected = errors.New("transport: connection lost with call in flight")
+	// ErrDisconnected fails an RPC whose outcome is unknown: the
+	// request was written (or handed to the writer) but no response
+	// arrived — the connection broke, or the caller's ctx expired with
+	// the call on the wire. The receiver may or may not have processed
+	// it, so neither the stream nor its caller may blindly retransmit
+	// a non-idempotent request. Check with errors.Is: the ctx-expiry
+	// case wraps both this and the ctx error.
+	ErrDisconnected = errors.New("transport: call in flight with no response")
 )
 
 // Config tunes a stream endpoint (either side).
@@ -172,18 +176,35 @@ func (s *Stream) Call(ctx context.Context, msg []byte, raw bool) ([]byte, error)
 		return r.payload, r.err
 	case <-ctx.Done():
 		// Abandon the call: drop it wherever it sits so a late response
-		// is discarded and the window slot frees.
+		// is discarded and the window slot frees. Where it sat decides
+		// what the caller may do next — still queued means the request
+		// never reached the wire and a fallback retry is safe; gone
+		// from the queue means the writer took it (it is on the wire or
+		// about to be) and the peer may still execute it.
 		s.mu.Lock()
-		delete(s.calls, p.seq)
+		written := true
 		for i, q := range s.queue {
 			if q == p {
 				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				written = false
 				break
 			}
 		}
+		delete(s.calls, p.seq)
 		s.cond.Broadcast()
 		s.mu.Unlock()
-		return nil, ctx.Err()
+		if !written {
+			return nil, ctx.Err()
+		}
+		// A response (or disconnect error) may have raced the expiry
+		// onto p.resp after we dropped the call — prefer the real
+		// outcome over guessing.
+		select {
+		case r := <-p.resp:
+			return r.payload, r.err
+		default:
+		}
+		return nil, fmt.Errorf("%w: %w", ErrDisconnected, ctx.Err())
 	}
 }
 
@@ -361,7 +382,7 @@ func (s *Stream) runConn(conn net.Conn) {
 			s.markBroken()
 			break
 		}
-		s.cfg.Metrics.sent(n, len(p.msg), compressed)
+		s.cfg.Metrics.sent(n, compressed)
 		needFlush = true
 	}
 	if bw.Buffered() > 0 {

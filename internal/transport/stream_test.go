@@ -262,6 +262,61 @@ func TestStreamCallDisconnected(t *testing.T) {
 	}
 }
 
+// TestStreamCallExpiredInFlight pins the other half of the
+// non-idempotence contract: when the caller's ctx expires after the
+// request reached the wire but before a response, the error must mark
+// the outcome unknown (ErrDisconnected) so callers with an HTTP
+// fallback do not replay the request — on top of the ctx error itself.
+func TestStreamCallExpiredInFlight(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := newEchoServer(t, Handlers{
+		Call: func(msg []byte) ([]byte, bool) {
+			<-block // hold the RPC open past the caller's deadline
+			return EncodeResult(200, nil), false
+		},
+	}, testConfig())
+
+	st := Open(tcpDialer(srv.addr()), testConfig())
+	defer st.Close()
+
+	// Make sure the connection is up so the request is actually written.
+	waitFor(t, 5*time.Second, st.Connected)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err := st.Call(ctx, []byte{MsgPing}, false)
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("got %v, want ErrDisconnected for an in-flight expiry", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want the ctx error preserved", err)
+	}
+}
+
+// TestStreamCallExpiredQueued is the safe counterpart: a call whose
+// ctx expires while it still sits in the queue (the stream never
+// connected) was never written, so the error must NOT carry
+// ErrDisconnected — a fallback retry is allowed.
+func TestStreamCallExpiredQueued(t *testing.T) {
+	// A dialer that never connects keeps everything queued.
+	st := Open(func(ctx context.Context) (net.Conn, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, testConfig())
+	defer st.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := st.Call(ctx, []byte{MsgPing}, false)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrDisconnected) {
+		t.Fatalf("queued call marked in-flight: %v", err)
+	}
+}
+
 // TestStreamCloseFailsPending ensures Close resolves everything.
 func TestStreamCloseFailsPending(t *testing.T) {
 	// A dialer that never connects: everything stays queued.
